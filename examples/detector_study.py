@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Detector study: what the Hessenberg bound can and cannot catch.
+
+The paper's detector compares every orthogonalization coefficient against
+``||A||_F`` (or the tighter ``||A||_2``).  This example sweeps corruption
+magnitudes from 1e-300 to 1e+150 on the Poisson problem and reports, for each
+magnitude, the detection rate and the worst-case cost in outer iterations
+with and without the detector's filtering response — making explicit the
+paper's point that the undetectable faults are precisely the ones the nested
+solver runs through anyway.
+
+Run with:  python examples/detector_study.py [grid_n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ScalingFault, frobenius_norm, two_norm_estimate
+from repro.experiments.report import format_table
+from repro.faults.campaign import FaultCampaign
+from repro.gallery.problems import poisson_problem
+
+MAGNITUDES = {
+    "x 1e+150": 1e150,
+    "x 1e+12": 1e12,
+    "x 1e+4": 1e4,
+    "x 1e+1": 1e1,
+    "x 10^-0.5": 10 ** -0.5,
+    "x 1e-4": 1e-4,
+    "x 1e-300": 1e-300,
+}
+
+
+def main(grid_n: int = 20) -> None:
+    problem = poisson_problem(grid_n=grid_n)
+    fro = frobenius_norm(problem.A)
+    two = two_norm_estimate(problem.A)
+    print(f"Problem: {problem.name} ({problem.n} unknowns)")
+    print(f"Detector bounds: ||A||_F = {fro:.3f}, ||A||_2 ~ {two:.3f}\n")
+
+    locations = range(0, 30, 3)
+    rows = []
+    for label, factor in MAGNITUDES.items():
+        fault = {label: ScalingFault(factor)}
+        unprotected = FaultCampaign(problem, inner_iterations=15, max_outer=60,
+                                    fault_classes=fault, detector=None).run(
+            locations=locations)
+        protected = FaultCampaign(problem, inner_iterations=15, max_outer=60,
+                                  fault_classes=fault, detector="bound",
+                                  detector_response="zero").run(locations=locations)
+        rows.append([
+            label,
+            f"{protected.detection_rate(label) * 100:.0f}%",
+            f"+{unprotected.max_increase(label)}",
+            f"+{protected.max_increase(label)}",
+        ])
+
+    print(format_table(
+        ["corruption", "detected", "worst extra outer (no detector)",
+         "worst extra outer (detector + filter)"],
+        rows,
+        title=f"Single SDC on the first MGS coefficient, failure-free outer = "
+              f"{unprotected.failure_free_outer}",
+    ))
+    print("\nReading the table:")
+    print(" * corruptions that push |h| past ||A||_F are always detected and filtered;")
+    print(" * corruptions below the bound are invisible to the detector -- and cost at most")
+    print("   one or two extra outer iterations, which is exactly the paper's argument for")
+    print("   bounding (rather than eliminating) the error committed in the sandbox.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

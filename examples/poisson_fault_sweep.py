@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Reproduce Figure 3 (reduced scale): SDC sweep on the Poisson problem.
+
+For every aggregate inner iteration of the nested FT-GMRES solve, this script
+injects a single multiplicative SDC into the first (and then the last)
+Modified Gram-Schmidt coefficient, for the paper's three fault classes, and
+plots (in ASCII) the number of outer iterations needed to converge — the same
+series as the paper's Figure 3.
+
+Run with:  python examples/poisson_fault_sweep.py [grid_n] [stride]
+
+``grid_n=100`` reproduces the paper's 10,000-row matrix (takes a few minutes);
+the default ``grid_n=30`` finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figure34 import figure3
+
+
+def main(grid_n: int = 30, stride: int = 5) -> None:
+    print(f"Running the Figure 3 sweep on a {grid_n}x{grid_n} Poisson grid "
+          f"({grid_n**2} unknowns), injection-location stride {stride} ...")
+    figure = figure3(grid_n=grid_n, stride=stride, detector=None,
+                     inner_iterations=25, max_outer=100)
+    print()
+    print(figure.render(width=70, height=12))
+
+    print("\nWhat to look for (compare with the paper's Figure 3):")
+    print(" * large faults (x1e+150): a visible penalty for faults early in the solve,")
+    print("   decaying to no penalty once the outer iteration has nearly converged;")
+    print(" * small faults (x10^-0.5, x1e-300): almost every run converges in the")
+    print("   failure-free number of outer iterations — the solver 'runs through' them;")
+    print(" * the worst location is the start of the very first inner solve.")
+
+
+if __name__ == "__main__":
+    grid_n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    stride = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(grid_n, stride)

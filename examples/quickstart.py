@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: solve a linear system with FT-GMRES and survive an injected SDC.
+
+This example walks through the library's core workflow in four steps:
+
+1. build one of the paper's test problems (a 2-D Poisson system),
+2. solve it failure-free with the nested FT-GMRES solver,
+3. re-solve it while injecting a single huge silent data corruption (SDC)
+   into the inner solver's orthogonalization — and watch it "run through",
+4. enable the paper's Hessenberg-bound detector and see the corruption get
+   caught and filtered.
+
+Run with:  python examples/quickstart.py [grid_n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    FTGMRESParameters,
+    FaultInjector,
+    GMRESParameters,
+    HessenbergBoundDetector,
+    InjectionSchedule,
+    ScalingFault,
+    frobenius_norm,
+    ft_gmres,
+    poisson_problem,
+)
+
+
+def main(grid_n: int = 30) -> None:
+    # ------------------------------------------------------------------ 1.
+    problem = poisson_problem(grid_n=grid_n)
+    print(f"Problem: {problem.name} — {problem.n} unknowns, {problem.A.nnz} nonzeros, "
+          f"||A||_F = {frobenius_norm(problem.A):.2f}")
+
+    # ------------------------------------------------------------------ 2.
+    clean = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=100)
+    print(f"\nFailure-free FT-GMRES: {clean.status.value} after "
+          f"{clean.outer_iterations} outer iterations "
+          f"(relative residual {clean.residual_norm / np.linalg.norm(problem.b):.2e}, "
+          f"error vs exact solution {problem.error_norm(clean.x):.2e})")
+
+    # ------------------------------------------------------------------ 3.
+    # Inject a single transient SDC: the first Modified Gram-Schmidt
+    # coefficient of aggregate inner iteration 3 is multiplied by 1e+150.
+    injector = FaultInjector(
+        ScalingFault(1e150),
+        InjectionSchedule(site="hessenberg", aggregate_inner_iteration=3,
+                          mgs_position="first"),
+    )
+    faulty = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=100,
+                      injector=injector)
+    record = injector.records[0]
+    print(f"\nInjected SDC: h = {record.original:.4f} -> {record.corrupted:.3e} "
+          f"(inner solve {record.inner_solve_index}, inner iteration "
+          f"{record.inner_iteration}, MGS position {record.mgs_index})")
+    print(f"FT-GMRES with the SDC (no detector): {faulty.status.value} after "
+          f"{faulty.outer_iterations} outer iterations "
+          f"(+{faulty.outer_iterations - clean.outer_iterations} vs failure-free), "
+          f"error {problem.error_norm(faulty.x):.2e}")
+
+    # ------------------------------------------------------------------ 4.
+    detector = HessenbergBoundDetector(frobenius_norm(problem.A))
+    params = FTGMRESParameters(
+        inner=GMRESParameters(tol=0.0, maxiter=25, detector=detector,
+                              detector_response="zero"))
+    injector.reset()
+    protected = ft_gmres(problem.A, problem.b, params=params, max_outer=100,
+                         injector=injector)
+    print(f"\nFT-GMRES with the SDC and the Hessenberg-bound detector: "
+          f"{protected.status.value} after {protected.outer_iterations} outer iterations; "
+          f"faults injected = {protected.faults_injected}, "
+          f"detected and filtered = {protected.faults_detected}")
+    print("\nThe detector catches the impossible value (|h| > ||A||_F), filters it, and the")
+    print("nested solver converges with no extra work — the paper's central result.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30)

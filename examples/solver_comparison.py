@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Solver comparison: layered FT-GMRES vs flat GMRES vs detect-and-rollback.
+
+The paper positions its "run through" philosophy against two alternatives:
+solving with a single (unprotected) GMRES, and the detect/roll-back style of
+Chen's Online-ABFT.  This example subjects all three to the same single SDC
+event and compares iterations, extra operator applications, and outcome, on
+both of the paper's problem classes.
+
+Run with:  python examples/solver_comparison.py [grid_n] [circuit_n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import ScalingFault, FaultInjector, InjectionSchedule, ft_gmres, gmres
+from repro.baselines.chen import gmres_with_rollback
+from repro.experiments.report import format_table
+from repro.gallery.problems import circuit_problem, poisson_problem
+
+
+def make_injector(location: int = 1):
+    return FaultInjector(
+        ScalingFault(1e150),
+        InjectionSchedule(site="hessenberg", aggregate_inner_iteration=location,
+                          mgs_position="first"))
+
+
+def run_case(problem, max_total_iterations: int = 600):
+    norm_b = np.linalg.norm(problem.b)
+    rows = []
+
+    # 1. Nested FT-GMRES (the paper's approach): run through the fault.
+    nested_clean = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=120)
+    nested_faulty = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=120,
+                             injector=make_injector())
+    rows.append([
+        "FT-GMRES (run through)",
+        f"{nested_clean.outer_iterations} outer",
+        f"{nested_faulty.outer_iterations} outer",
+        f"{nested_faulty.residual_norm / norm_b:.1e}",
+        nested_faulty.status.value,
+    ])
+
+    # 2. Flat GMRES, unprotected.
+    flat_clean = gmres(problem.A, problem.b, tol=1e-8, maxiter=max_total_iterations)
+    flat_faulty = gmres(problem.A, problem.b, tol=1e-8, maxiter=max_total_iterations,
+                        injector=make_injector())
+    rows.append([
+        "GMRES (unprotected)",
+        f"{flat_clean.iterations} iters",
+        f"{flat_faulty.iterations} iters",
+        f"{flat_faulty.residual_norm / norm_b:.1e}",
+        flat_faulty.status.value,
+    ])
+
+    # 3. GMRES with periodic verification and rollback (Online-ABFT style).
+    rollback = gmres_with_rollback(problem.A, problem.b, tol=1e-8,
+                                   maxiter=max_total_iterations, check_interval=25,
+                                   injector=make_injector())
+    rows.append([
+        "GMRES + verify/rollback",
+        "-",
+        f"{rollback.result.iterations} iters "
+        f"(+{rollback.extra_matvecs} verify matvecs, {rollback.rollbacks} rollbacks)",
+        f"{rollback.result.residual_norm / norm_b:.1e}",
+        rollback.result.status.value,
+    ])
+    return rows
+
+
+def main(grid_n: int = 25, circuit_n: int = 800) -> None:
+    for problem in (poisson_problem(grid_n), circuit_problem(circuit_n)):
+        print(f"\n=== {problem.name} ({problem.n} unknowns), "
+              f"single SDC h -> h * 1e+150 at aggregate inner iteration 1 ===")
+        rows = run_case(problem)
+        print(format_table(
+            ["strategy", "failure-free cost", "cost with the SDC", "final rel. residual",
+             "status"],
+            rows))
+    print("\nTakeaways (matching the paper's argument):")
+    print(" * the nested solver absorbs the fault at the cost of at most a couple of outer")
+    print("   iterations and needs no verification traffic or checkpointed state;")
+    print(" * the flat solver also eventually converges but pays for the corrupted Krylov")
+    print("   space inside a single long recurrence;")
+    print(" * the rollback scheme recovers too, but spends extra reliable matvecs on")
+    print("   verification even in failure-free runs.")
+
+
+if __name__ == "__main__":
+    grid_n = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    circuit_n = int(sys.argv[2]) if len(sys.argv) > 2 else 800
+    main(grid_n, circuit_n)

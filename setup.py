@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs (``pip install -e .``) work on offline machines whose
+setuptools/pip tool-chain lacks the ``wheel`` package required by PEP 660
+editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

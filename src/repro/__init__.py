@@ -1,0 +1,129 @@
+"""repro — reproduction of "Evaluating the Impact of SDC on the GMRES Iterative Solver".
+
+The library rebuilds, in pure Python/NumPy, the systems behind Elliott,
+Hoemmen and Mueller's IPDPS 2014 study of silent data corruption (SDC) in
+GMRES:
+
+* a sparse-matrix substrate and matrix gallery (:mod:`repro.sparse`,
+  :mod:`repro.gallery`);
+* GMRES / Flexible GMRES / FT-GMRES with the Hessenberg-bound SDC detector
+  and the robust projected least-squares policies (:mod:`repro.core`);
+* a fault-injection framework implementing the paper's single-transient-SDC
+  methodology and its generalizations (:mod:`repro.faults`);
+* experiment drivers that regenerate every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import poisson_problem, ft_gmres
+>>> problem = poisson_problem(grid_n=10)          # 100-row Poisson system
+>>> result = ft_gmres(problem.A, problem.b, inner_iterations=10, max_outer=30)
+>>> bool(result.converged)
+True
+"""
+
+from repro.core import (
+    gmres,
+    fgmres,
+    ft_gmres,
+    GMRESParameters,
+    FGMRESParameters,
+    FTGMRESParameters,
+    SolverStatus,
+    SolverResult,
+    NestedSolverResult,
+    HessenbergBoundDetector,
+    NonFiniteDetector,
+    CompositeDetector,
+    LeastSquaresPolicy,
+)
+from repro.baselines import cg
+from repro.gallery import (
+    poisson1d,
+    poisson2d,
+    poisson3d,
+    convection_diffusion_2d,
+    mult_dcop_surrogate,
+    poisson_problem,
+    circuit_problem,
+    paper_problems,
+    TestProblem,
+)
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    LinearOperator,
+    aslinearoperator,
+    frobenius_norm,
+    two_norm_estimate,
+    hessenberg_bound,
+)
+from repro.faults import (
+    FaultInjector,
+    InjectionSchedule,
+    ScalingFault,
+    BitFlipFault,
+    PAPER_FAULT_CLASSES,
+    Sandbox,
+    FaultCampaign,
+    sweep_injection_locations,
+)
+from repro.precond import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    ILU0Preconditioner,
+    SSORPreconditioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core solvers
+    "gmres",
+    "fgmres",
+    "ft_gmres",
+    "cg",
+    "GMRESParameters",
+    "FGMRESParameters",
+    "FTGMRESParameters",
+    "SolverStatus",
+    "SolverResult",
+    "NestedSolverResult",
+    "LeastSquaresPolicy",
+    # detection
+    "HessenbergBoundDetector",
+    "NonFiniteDetector",
+    "CompositeDetector",
+    # matrices and problems
+    "COOMatrix",
+    "CSRMatrix",
+    "LinearOperator",
+    "aslinearoperator",
+    "frobenius_norm",
+    "two_norm_estimate",
+    "hessenberg_bound",
+    "poisson1d",
+    "poisson2d",
+    "poisson3d",
+    "convection_diffusion_2d",
+    "mult_dcop_surrogate",
+    "poisson_problem",
+    "circuit_problem",
+    "paper_problems",
+    "TestProblem",
+    # preconditioners
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "ILU0Preconditioner",
+    "SSORPreconditioner",
+    # fault injection
+    "FaultInjector",
+    "InjectionSchedule",
+    "ScalingFault",
+    "BitFlipFault",
+    "PAPER_FAULT_CLASSES",
+    "Sandbox",
+    "FaultCampaign",
+    "sweep_injection_locations",
+    "__version__",
+]

@@ -1,0 +1,342 @@
+"""The Arnoldi process with fault-injection hooks and invariant checking.
+
+This is the computational heart of GMRES (Algorithm 1, lines 3–14 of the
+paper).  Each :func:`arnoldi_step` takes the current orthonormal basis,
+applies the operator, orthogonalizes the new vector, and returns the new
+Hessenberg column — while giving a fault injector the chance to corrupt the
+intermediate quantities at named sites and giving a detector the chance to
+check each orthogonalization coefficient against the paper's bound.
+
+Injection sites (strings used by :mod:`repro.faults`):
+
+========== ==============================================================
+site        quantity
+========== ==============================================================
+``spmv``        the vector ``v = A q_j`` (line 4)
+``hessenberg``  an orthogonalization coefficient ``h_ij`` (line 6)
+``subdiag``     the subdiagonal entry ``h_{j+1,j} = ||v||`` (line 9)
+``basis``       the normalized new basis vector ``q_{j+1}`` (line 14)
+========== ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detectors import Detector
+from repro.core.exceptions import FaultDetectedError
+from repro.sparse.linear_operator import LinearOperator
+from repro.utils.events import EventLog
+
+__all__ = ["ArnoldiContext", "arnoldi_step", "arnoldi_process", "HAPPY_BREAKDOWN_TOL"]
+
+#: Relative tolerance below which ``h_{j+1,j}`` is treated as zero
+#: ("happy breakdown", line 10 of Algorithm 1).
+HAPPY_BREAKDOWN_TOL = 1e-14
+
+#: Detector response policies accepted by :class:`ArnoldiContext`.
+VALID_RESPONSES = ("flag", "zero", "clamp", "recompute", "raise")
+
+
+@dataclass
+class ArnoldiContext:
+    """Shared state threaded through Arnoldi steps.
+
+    Attributes
+    ----------
+    injector : object or None
+        A fault injector implementing ``corrupt_scalar(site, value, **ctx)``
+        and ``corrupt_vector(site, vec, **ctx)`` (see
+        :class:`repro.faults.injector.FaultInjector`).  ``None`` disables
+        injection.
+    detector : Detector or None
+        Invariant checker applied to every Hessenberg coefficient.  ``None``
+        disables detection.
+    detector_response : str
+        What to do when the detector flags a value:
+
+        * ``"flag"``      — record the event and keep the corrupted value
+          (detection only, no response; the paper's plots marked
+          "would not be possible with the detector" come from comparing this
+          mode against a responding mode);
+        * ``"zero"``      — replace the flagged value with 0 (filtering);
+        * ``"clamp"``     — replace with ``sign(value) * bound``;
+        * ``"recompute"`` — recompute the coefficient from its operands
+          (valid under the transient-SDC model, where inputs are untainted);
+        * ``"raise"``     — raise :class:`FaultDetectedError` (halt the
+          solve and report loudly).
+    events : EventLog
+        Structured event sink.
+    outer_iteration : int
+        Index of the enclosing outer (FGMRES) iteration, or -1.
+    inner_solve_index : int
+        Index of the enclosing inner solve, or -1.
+    iteration_offset : int
+        Added to the local iteration index to form the "aggregate inner
+        iteration" coordinate used by the paper's sweep figures.
+    matvecs : int
+        Running count of operator applications.
+    """
+
+    injector: object | None = None
+    detector: Detector | None = None
+    detector_response: str = "flag"
+    events: EventLog = field(default_factory=EventLog)
+    outer_iteration: int = -1
+    inner_solve_index: int = -1
+    iteration_offset: int = 0
+    matvecs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.detector_response not in VALID_RESPONSES:
+            raise ValueError(
+                f"detector_response must be one of {VALID_RESPONSES}, "
+                f"got {self.detector_response!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # injection / detection plumbing
+    # ------------------------------------------------------------------ #
+    def _ctx_kwargs(self, iteration: int, mgs_index: int) -> dict:
+        return {
+            "outer_iteration": self.outer_iteration,
+            "inner_solve_index": self.inner_solve_index,
+            "inner_iteration": iteration,
+            "aggregate_inner_iteration": self.iteration_offset + iteration,
+            "mgs_index": mgs_index,
+        }
+
+    def inject_scalar(self, site: str, value: float, iteration: int, mgs_index: int = -1,
+                      mgs_length: int = 0) -> float:
+        """Offer ``value`` to the injector; record an event if it was corrupted."""
+        if self.injector is None:
+            return value
+        kwargs = self._ctx_kwargs(iteration, mgs_index)
+        kwargs["mgs_length"] = mgs_length
+        corrupted = self.injector.corrupt_scalar(site, value, **kwargs)
+        if corrupted != value and not (np.isnan(corrupted) and np.isnan(value)):
+            self.events.record(
+                "fault_injected", where=site,
+                outer_iteration=self.outer_iteration, inner_iteration=iteration,
+                original=float(value), corrupted=float(corrupted), mgs_index=mgs_index,
+                aggregate_inner_iteration=kwargs["aggregate_inner_iteration"],
+            )
+        return corrupted
+
+    def inject_vector(self, site: str, vec: np.ndarray, iteration: int) -> np.ndarray:
+        """Offer a vector to the injector; record an event if it was corrupted."""
+        if self.injector is None:
+            return vec
+        kwargs = self._ctx_kwargs(iteration, -1)
+        corrupted = self.injector.corrupt_vector(site, vec, **kwargs)
+        if corrupted is not vec and not np.array_equal(corrupted, vec, equal_nan=True):
+            self.events.record(
+                "fault_injected", where=site,
+                outer_iteration=self.outer_iteration, inner_iteration=iteration,
+                aggregate_inner_iteration=kwargs["aggregate_inner_iteration"],
+            )
+            return corrupted
+        return vec
+
+    def screen_scalar(self, site: str, value: float, iteration: int, mgs_index: int,
+                      recompute) -> float:
+        """Run the detector on ``value`` and apply the response policy.
+
+        Parameters
+        ----------
+        recompute : callable
+            Zero-argument callable returning a freshly computed value; used
+            by the ``"recompute"`` response.
+        """
+        if self.detector is None:
+            return value
+        verdict = self.detector.check_scalar(value, site=site)
+        if not verdict.flagged:
+            return value
+        self.events.record(
+            "fault_detected", where=site,
+            outer_iteration=self.outer_iteration, inner_iteration=iteration,
+            mgs_index=mgs_index, value=float(value), bound=verdict.bound,
+            detector=verdict.detector, reason=verdict.reason,
+            response=self.detector_response,
+            aggregate_inner_iteration=self.iteration_offset + iteration,
+        )
+        if self.detector_response == "flag":
+            return value
+        if self.detector_response == "zero":
+            return 0.0
+        if self.detector_response == "clamp":
+            bound = verdict.bound if np.isfinite(verdict.bound) else 0.0
+            return float(np.sign(value) * bound) if np.isfinite(value) else 0.0
+        if self.detector_response == "recompute":
+            return float(recompute())
+        raise FaultDetectedError(verdict)
+
+
+# ---------------------------------------------------------------------- #
+# single Arnoldi step
+# ---------------------------------------------------------------------- #
+def arnoldi_step(
+    op: LinearOperator,
+    basis: np.ndarray,
+    j: int,
+    ctx: ArnoldiContext,
+    orthogonalization: str = "mgs",
+    apply_operator=None,
+) -> tuple[np.ndarray, np.ndarray | None, bool]:
+    """Perform the ``j``-th Arnoldi step (0-based).
+
+    Parameters
+    ----------
+    op : LinearOperator
+        The (possibly preconditioned) operator.
+    basis : numpy.ndarray
+        Array of shape ``(n, >= j+2)`` whose first ``j+1`` columns are the
+        current orthonormal basis; column ``j+1`` is overwritten with the new
+        basis vector when no breakdown occurs.
+    j : int
+        Step index; the step orthogonalizes ``A @ basis[:, j]``.
+    ctx : ArnoldiContext
+        Injection/detection context.
+    orthogonalization : {"mgs", "cgs", "cgs2"}
+        Modified Gram–Schmidt (the paper's choice), classical Gram–Schmidt,
+        or re-orthogonalized classical Gram–Schmidt.
+    apply_operator : callable, optional
+        Override for the operator application (used by FGMRES, where the
+        "operator" for column ``j`` is ``A @ M_j^{-1}``).  Receives the basis
+        vector, returns the vector to orthogonalize.
+
+    Returns
+    -------
+    h_col : numpy.ndarray
+        The ``j+2`` Hessenberg entries ``h_{1..j+2, j+1}`` (last entry is the
+        subdiagonal norm).
+    q_next : numpy.ndarray or None
+        The new unit basis vector, or ``None`` on (happy) breakdown.
+    breakdown : bool
+        True when ``h_{j+1,j}`` is numerically zero.
+    """
+    if orthogonalization not in ("mgs", "cgs", "cgs2"):
+        raise ValueError(
+            f"orthogonalization must be 'mgs', 'cgs' or 'cgs2', got {orthogonalization!r}"
+        )
+    q_j = basis[:, j]
+    if apply_operator is None:
+        v = op.matvec(q_j)
+    else:
+        v = np.asarray(apply_operator(q_j), dtype=np.float64)
+    ctx.matvecs += 1
+    v = ctx.inject_vector("spmv", v, iteration=j)
+    if ctx.detector is not None:
+        verdict = ctx.detector.check_vector(v, site="spmv")
+        if verdict.flagged:
+            ctx.events.record(
+                "fault_detected", where="spmv", outer_iteration=ctx.outer_iteration,
+                inner_iteration=j, reason=verdict.reason, detector=verdict.detector,
+                response=ctx.detector_response,
+            )
+            if ctx.detector_response == "raise":
+                raise FaultDetectedError(verdict)
+
+    h_col = np.zeros(j + 2, dtype=np.float64)
+    Q = basis[:, : j + 1]
+
+    if orthogonalization == "mgs":
+        v = v.copy()
+        for i in range(j + 1):
+            q_i = Q[:, i]
+            h = float(np.dot(q_i, v))
+            h = ctx.inject_scalar("hessenberg", h, iteration=j, mgs_index=i, mgs_length=j + 1)
+            h = ctx.screen_scalar("hessenberg", h, iteration=j, mgs_index=i,
+                                  recompute=lambda q_i=q_i, v=v: np.dot(q_i, v))
+            h_col[i] = h
+            v = v - h * q_i
+    else:
+        # Classical Gram-Schmidt: all coefficients from the original vector.
+        passes = 2 if orthogonalization == "cgs2" else 1
+        v = v.copy()
+        for _ in range(passes):
+            coeffs = Q.T @ v
+            for i in range(j + 1):
+                h = float(coeffs[i])
+                h = ctx.inject_scalar("hessenberg", h, iteration=j, mgs_index=i,
+                                      mgs_length=j + 1)
+                h = ctx.screen_scalar("hessenberg", h, iteration=j, mgs_index=i,
+                                      recompute=lambda i=i: np.dot(Q[:, i], v))
+                coeffs[i] = h
+            v = v - Q @ coeffs
+            h_col[: j + 1] += coeffs
+
+    norm_v = float(np.linalg.norm(v))
+    norm_v = ctx.inject_scalar("subdiag", norm_v, iteration=j, mgs_index=j + 1,
+                               mgs_length=j + 1)
+    norm_v = ctx.screen_scalar("subdiag", norm_v, iteration=j, mgs_index=j + 1,
+                               recompute=lambda: np.linalg.norm(v))
+    h_col[j + 1] = norm_v
+
+    scale = max(np.abs(h_col[: j + 1]).max() if j + 1 > 0 else 0.0, 1.0)
+    if not np.isfinite(norm_v) or norm_v <= HAPPY_BREAKDOWN_TOL * scale:
+        if np.isfinite(norm_v):
+            ctx.events.record("happy_breakdown", where="subdiag",
+                              outer_iteration=ctx.outer_iteration, inner_iteration=j,
+                              value=norm_v)
+            return h_col, None, True
+        # A non-finite norm is not a breakdown; return the poisoned vector so
+        # the caller's NaN handling (or the detector) deals with it.
+        q_next = np.full_like(v, np.nan)
+        basis[:, j + 1] = q_next
+        return h_col, q_next, False
+
+    q_next = v / norm_v
+    q_next = ctx.inject_vector("basis", q_next, iteration=j)
+    basis[:, j + 1] = q_next
+    return h_col, q_next, False
+
+
+# ---------------------------------------------------------------------- #
+# standalone Arnoldi factorization
+# ---------------------------------------------------------------------- #
+def arnoldi_process(
+    A,
+    v0: np.ndarray,
+    m: int,
+    orthogonalization: str = "mgs",
+    ctx: ArnoldiContext | None = None,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Run ``m`` Arnoldi steps starting from ``v0``.
+
+    Returns the basis ``Q`` (``n x (k+1)``), the Hessenberg matrix ``H``
+    (``(k+1) x k``), and a breakdown flag, where ``k <= m`` is the number of
+    completed steps.  Used directly by the Figure 2 structure experiment and
+    by tests of the Arnoldi relation ``A Q_k = Q_{k+1} H_k``.
+    """
+    from repro.sparse.linear_operator import aslinearoperator
+
+    op = aslinearoperator(A)
+    v0 = np.asarray(v0, dtype=np.float64).ravel()
+    n = op.shape[1]
+    if v0.shape[0] != n:
+        raise ValueError(f"v0 has length {v0.shape[0]}, expected {n}")
+    beta = float(np.linalg.norm(v0))
+    if beta == 0.0:
+        raise ValueError("v0 must be nonzero")
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    m = min(m, n)
+    ctx = ctx or ArnoldiContext()
+
+    basis = np.zeros((n, m + 1), dtype=np.float64)
+    basis[:, 0] = v0 / beta
+    H = np.zeros((m + 1, m), dtype=np.float64)
+    breakdown = False
+    k = 0
+    for j in range(m):
+        h_col, q_next, breakdown = arnoldi_step(op, basis, j, ctx,
+                                                orthogonalization=orthogonalization)
+        H[: j + 2, j] = h_col
+        k = j + 1
+        if breakdown or q_next is None:
+            break
+    return basis[:, : k + 1], H[: k + 1, : k], breakdown

@@ -1,0 +1,253 @@
+"""SDC detectors.
+
+The paper's detector (Section V) checks each Arnoldi orthogonalization
+coefficient against the bound ``|h_ij| <= ||A||_2 <= ||A||_F``: a violation
+is theoretically impossible, so it must be the effect of silent data
+corruption.  This module packages that check — plus the "free" IEEE-754
+NaN/Inf check and a norm-growth heuristic — behind a common
+:class:`Detector` interface so solvers can compose them.
+
+Detectors are *pure* predicates: they never modify data.  The solver decides
+how to respond to a positive verdict (see the ``detector_response`` option of
+:func:`repro.core.gmres.gmres`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DetectionResult",
+    "Detector",
+    "NullDetector",
+    "HessenbergBoundDetector",
+    "NonFiniteDetector",
+    "NormGrowthDetector",
+    "CompositeDetector",
+]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Verdict of a detector on a single value.
+
+    Attributes
+    ----------
+    flagged : bool
+        True if the value is considered corrupt.
+    detector : str
+        Name of the detector that produced the verdict.
+    reason : str
+        Human-readable explanation (empty when not flagged).
+    value : float
+        The checked value.
+    bound : float
+        The bound it was compared against (NaN when not applicable).
+    """
+
+    flagged: bool
+    detector: str = ""
+    reason: str = ""
+    value: float = float("nan")
+    bound: float = float("nan")
+
+    def __bool__(self) -> bool:
+        return self.flagged
+
+
+_NOT_FLAGGED = DetectionResult(False)
+
+
+class Detector:
+    """Base class.  Subclasses implement :meth:`check_scalar`.
+
+    ``check_vector`` has a default implementation that checks the vector's
+    2-norm, which is the right quantity for the Arnoldi vectors (the bound
+    of Eq. (2) is on ``||A q_j||_2``).
+    """
+
+    name = "detector"
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        """Return a verdict on a single floating-point value."""
+        raise NotImplementedError
+
+    def check_vector(self, vec: np.ndarray, site: str = "") -> DetectionResult:
+        """Return a verdict on a vector (default: check its 2-norm)."""
+        nrm = float(np.linalg.norm(np.asarray(vec, dtype=np.float64)))
+        return self.check_scalar(nrm, site=site)
+
+    def reset(self) -> None:
+        """Clear any internal state (e.g. reference norms).  Default: no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NullDetector(Detector):
+    """A detector that never flags anything (the "no detection" baseline)."""
+
+    name = "null"
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        return _NOT_FLAGGED
+
+
+class NonFiniteDetector(Detector):
+    """Flags NaN and Inf values.
+
+    The paper points out that IEEE-754 gives this check "for free": any SDC
+    that produces a non-numeric value is trivially detectable.  It is always
+    safe to enable.
+    """
+
+    name = "nonfinite"
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        if not np.isfinite(value):
+            return DetectionResult(True, self.name, f"non-finite value at {site or 'unknown site'}",
+                                   float(value))
+        return _NOT_FLAGGED
+
+    def check_vector(self, vec: np.ndarray, site: str = "") -> DetectionResult:
+        vec = np.asarray(vec, dtype=np.float64)
+        if not np.all(np.isfinite(vec)):
+            bad = int(np.count_nonzero(~np.isfinite(vec)))
+            return DetectionResult(True, self.name,
+                                   f"{bad} non-finite entries at {site or 'unknown site'}")
+        return _NOT_FLAGGED
+
+
+class HessenbergBoundDetector(Detector):
+    """The paper's invariant detector: ``|h_ij| <= bound``.
+
+    Parameters
+    ----------
+    bound : float
+        An upper bound on ``||A||_2`` — typically ``||A||_F`` (Eq. (3)) or a
+        power-method estimate of ``||A||_2``.  Must be positive and finite.
+    slack : float
+        Multiplicative slack applied to the bound to absorb rounding error
+        (default 1.0, i.e. the bound is used as-is, exactly as in the paper:
+        rounding error cannot push a correct ``h_ij`` past ``||A||_F`` by any
+        meaningful margin because the Frobenius norm already overestimates
+        the 2-norm).
+    check_nonfinite : bool
+        Also flag NaN/Inf (default True); a corrupted value of ``1e308 * 10``
+        overflows to Inf and would otherwise compare as "not greater" on some
+        platforms' NaN semantics.
+    """
+
+    name = "hessenberg_bound"
+
+    def __init__(self, bound: float, slack: float = 1.0, check_nonfinite: bool = True):
+        bound = float(bound)
+        if not np.isfinite(bound) or bound <= 0.0:
+            raise ValueError(f"bound must be a positive finite number, got {bound}")
+        if slack <= 0.0:
+            raise ValueError(f"slack must be positive, got {slack}")
+        self.bound = bound
+        self.slack = float(slack)
+        self.check_nonfinite = bool(check_nonfinite)
+
+    @property
+    def effective_bound(self) -> float:
+        """The threshold actually compared against (``bound * slack``)."""
+        return self.bound * self.slack
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        v = float(value)
+        if self.check_nonfinite and not np.isfinite(v):
+            return DetectionResult(True, self.name,
+                                   f"non-finite value at {site or 'hessenberg'}", v, self.effective_bound)
+        if abs(v) > self.effective_bound:
+            return DetectionResult(
+                True,
+                self.name,
+                f"|{v:.6e}| exceeds bound {self.effective_bound:.6e} at {site or 'hessenberg'}",
+                v,
+                self.effective_bound,
+            )
+        return DetectionResult(False, self.name, "", v, self.effective_bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HessenbergBoundDetector(bound={self.bound:.6e}, slack={self.slack})"
+
+
+class NormGrowthDetector(Detector):
+    """Flags values whose magnitude exceeds ``factor`` times a running reference.
+
+    A heuristic companion to the theory-based bound: it adapts to the data it
+    has seen, so it can catch corruption *below* ``||A||_F`` at the cost of
+    potential false positives.  Used only in the detector-ablation benchmark;
+    the paper's detector is :class:`HessenbergBoundDetector`.
+    """
+
+    name = "norm_growth"
+
+    def __init__(self, factor: float = 1e3, floor: float = 1e-300):
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        self.factor = float(factor)
+        self.floor = float(floor)
+        self._reference = 0.0
+
+    def reset(self) -> None:
+        self._reference = 0.0
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        v = float(value)
+        if not np.isfinite(v):
+            return DetectionResult(True, self.name, f"non-finite value at {site}", v)
+        magnitude = abs(v)
+        if self._reference > self.floor and magnitude > self.factor * self._reference:
+            result = DetectionResult(
+                True,
+                self.name,
+                f"|{v:.3e}| grew more than {self.factor:g}x past running reference "
+                f"{self._reference:.3e} at {site}",
+                v,
+                self.factor * self._reference,
+            )
+        else:
+            result = DetectionResult(False, self.name, "", v, self.factor * self._reference)
+        self._reference = max(self._reference, magnitude)
+        return result
+
+
+class CompositeDetector(Detector):
+    """Combines several detectors; flags if *any* member flags.
+
+    The first positive verdict is returned so the caller knows which member
+    fired.
+    """
+
+    name = "composite"
+
+    def __init__(self, detectors):
+        self.detectors = list(detectors)
+        if not self.detectors:
+            raise ValueError("CompositeDetector requires at least one member detector")
+
+    def check_scalar(self, value: float, site: str = "") -> DetectionResult:
+        for det in self.detectors:
+            result = det.check_scalar(value, site=site)
+            if result.flagged:
+                return result
+        return _NOT_FLAGGED
+
+    def check_vector(self, vec: np.ndarray, site: str = "") -> DetectionResult:
+        for det in self.detectors:
+            result = det.check_vector(vec, site=site)
+            if result.flagged:
+                return result
+        return _NOT_FLAGGED
+
+    def reset(self) -> None:
+        for det in self.detectors:
+            det.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompositeDetector({self.detectors!r})"

@@ -1,0 +1,30 @@
+"""Exception types raised by the core solvers."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "FaultDetectedError", "RankDeficiencyError"]
+
+
+class ReproError(RuntimeError):
+    """Base class for all library-specific errors."""
+
+
+class FaultDetectedError(ReproError):
+    """Raised when a detector flags SDC and the response policy is ``"raise"``.
+
+    Carries the :class:`repro.core.detectors.DetectionResult` that triggered
+    it in ``detection``.
+    """
+
+    def __init__(self, detection, message: str | None = None):
+        self.detection = detection
+        super().__init__(message or f"silent data corruption detected: {detection.reason}")
+
+
+class RankDeficiencyError(ReproError):
+    """Raised when FGMRES detects a rank-deficient projected matrix.
+
+    This corresponds to the third branch of the paper's trichotomy: the
+    solver cannot make progress and reports the failure loudly instead of
+    returning a silently wrong answer.
+    """

@@ -1,0 +1,281 @@
+"""Flexible GMRES (FGMRES) — Algorithm 2 of the paper (after Saad 1993).
+
+FGMRES allows the preconditioner to change every iteration, which is what
+makes the inner–outer FT-GMRES construction possible: a *faulty* inner solve
+is simply "a different preconditioner".  Two additions relative to standard
+GMRES matter for fault tolerance and are implemented here:
+
+* the solution update is formed from the ``Z`` basis (the preconditioned
+  vectors ``z_j = M_j^{-1} q_j``), not from ``Q``;
+* when the subdiagonal entry ``h_{j+1,j}`` is (numerically) zero the solver
+  must distinguish a happy breakdown from a rank-deficient projected matrix
+  (Saad's Proposition 2.2): the paper's "trichotomy".  We check the rank of
+  ``H(1:j,1:j)`` with a small SVD and report ``RANK_DEFICIENT`` loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.detectors import Detector
+from repro.core.hessenberg import HessenbergMatrix
+from repro.core.least_squares import LeastSquaresPolicy, solve_projected_lsq
+from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
+from repro.sparse.linear_operator import LinearOperator, aslinearoperator
+from repro.utils.events import EventLog
+from repro.utils.validation import as_dense_vector, check_square
+
+__all__ = ["FGMRESParameters", "fgmres"]
+
+#: Relative threshold below which ``h_{j+1,j}`` triggers the breakdown logic.
+BREAKDOWN_TOL = 1e-12
+
+
+@dataclass
+class FGMRESParameters:
+    """Bundled options for the outer FGMRES iteration.
+
+    Attributes mirror the keyword arguments of :func:`fgmres`.
+    """
+
+    tol: float = 1e-8
+    max_outer: int = 50
+    orthogonalization: str = "mgs"
+    lsq_policy: LeastSquaresPolicy | str = LeastSquaresPolicy.RANK_REVEALING
+    lsq_tol: float | None = None
+    rank_tol: float | None = None
+    detector: Detector | None = None
+    detector_response: str = "flag"
+
+    def replace(self, **changes) -> "FGMRESParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def fgmres(
+    A,
+    b,
+    inner_solver: Callable[[np.ndarray, int], np.ndarray] | None = None,
+    x0=None,
+    *,
+    tol: float = 1e-8,
+    max_outer: int = 50,
+    orthogonalization: str = "mgs",
+    lsq_policy=LeastSquaresPolicy.RANK_REVEALING,
+    lsq_tol: float | None = None,
+    rank_tol: float | None = None,
+    detector: Detector | None = None,
+    detector_response: str = "flag",
+    events: EventLog | None = None,
+    inner_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
+) -> SolverResult:
+    """Solve ``A x = b`` with Flexible GMRES.
+
+    Parameters
+    ----------
+    A : matrix or operator
+        System operator.
+    b : array_like
+        Right-hand side.
+    inner_solver : callable, optional
+        The per-iteration preconditioner: ``inner_solver(q_j, j)`` returns
+        ``z_j ≈ A^{-1} q_j``.  It may be a full iterative solve (FT-GMRES),
+        a stationary preconditioner's ``apply``, or ``None`` (identity, in
+        which case FGMRES reduces to plain GMRES).
+    x0 : array_like, optional
+        Initial guess.
+    tol : float
+        Relative convergence tolerance on ``||b - A x|| / ||b||``.
+    max_outer : int
+        Maximum number of outer iterations (also the Krylov dimension: the
+        outer iteration is not restarted, matching the paper's setup).
+    orthogonalization : {"mgs", "cgs", "cgs2"}
+        Orthogonalization of the *outer* basis (always executed reliably).
+    lsq_policy : LeastSquaresPolicy or str
+        Policy for the projected least-squares solve.  The paper recommends
+        the rank-revealing policy for the fault-tolerant outer solver, which
+        is therefore the default here (plain GMRES defaults to STANDARD).
+    lsq_tol : float, optional
+        Truncation tolerance for the rank-revealing least-squares solve.
+    rank_tol : float, optional
+        Tolerance for the rank test in the breakdown trichotomy.
+    detector : Detector, optional
+        Invariant detector for the *outer* Hessenberg entries.  Note that the
+        outer bound involves ``||A z_j||`` rather than ``||A||`` because
+        ``z_j`` is not a unit vector; when a detector is supplied here it is
+        applied to ``h_ij / ||z_j||`` so the paper's bound still applies.
+    detector_response : str
+        Response policy for outer detections (same vocabulary as GMRES).
+    events : EventLog, optional
+        Event sink.
+    inner_callback : callable, optional
+        ``inner_callback(j, q_j, z_j)`` invoked after every inner solve;
+        used by FT-GMRES to harvest inner results.
+
+    Returns
+    -------
+    SolverResult
+        ``iterations`` counts outer iterations.
+    """
+    op: LinearOperator = aslinearoperator(A)
+    n = check_square(op.shape, "A")
+    b = as_dense_vector(b, n, "b")
+    x = as_dense_vector(x0, n, "x0") if x0 is not None else np.zeros(n, dtype=np.float64)
+    if max_outer <= 0:
+        raise ValueError(f"max_outer must be positive, got {max_outer}")
+    max_outer = min(max_outer, n)
+    policy = LeastSquaresPolicy.coerce(lsq_policy)
+    if orthogonalization not in ("mgs", "cgs", "cgs2"):
+        raise ValueError(f"unknown orthogonalization {orthogonalization!r}")
+
+    events = events if events is not None else EventLog()
+    history = ConvergenceHistory()
+
+    norm_b = float(np.linalg.norm(b))
+    target = tol * norm_b if norm_b > 0.0 else tol
+
+    r = b - op.matvec(x)
+    matvecs = 1
+    beta = float(np.linalg.norm(r))
+    history.append(beta)
+    if beta <= target:
+        return SolverResult(x, SolverStatus.CONVERGED, 0, beta, history, events, matvecs)
+
+    Q = np.zeros((n, max_outer + 1), dtype=np.float64)
+    Z = np.zeros((n, max_outer), dtype=np.float64)
+    Q[:, 0] = r / beta
+    hess = HessenbergMatrix(max_outer, beta)
+
+    status = SolverStatus.MAX_ITERATIONS
+    k = 0
+    for j in range(max_outer):
+        q_j = Q[:, j]
+        # ----- inner solve (the "apply current preconditioner" step) -------
+        if inner_solver is None:
+            z_j = q_j.copy()
+        else:
+            z_j = np.asarray(inner_solver(q_j, j), dtype=np.float64).ravel()
+            if z_j.shape[0] != n:
+                raise ValueError(
+                    f"inner solver returned a vector of length {z_j.shape[0]}, expected {n}"
+                )
+        # The sandbox model promises only that the inner solve returns
+        # *something*; a non-finite result would poison the reliable outer
+        # phase, so the outer solver screens it (this is "computing the
+        # residual reliably" in sandbox terms).
+        if not np.all(np.isfinite(z_j)):
+            events.record("inner_result_nonfinite", where="inner_solve", outer_iteration=j)
+            z_j = np.nan_to_num(z_j, nan=0.0, posinf=0.0, neginf=0.0)
+        Z[:, j] = z_j
+        events.record("inner_solve_complete", where="inner_solve", outer_iteration=j)
+        if inner_callback is not None:
+            inner_callback(j, q_j, z_j)
+
+        # ----- reliable operator application and orthogonalization ---------
+        v = op.matvec(z_j)
+        matvecs += 1
+        z_norm = float(np.linalg.norm(z_j))
+        h_col = np.zeros(j + 2, dtype=np.float64)
+        if orthogonalization == "mgs":
+            w = v.copy()
+            for i in range(j + 1):
+                h = float(np.dot(Q[:, i], w))
+                h = _screen_outer(h, z_norm, detector, detector_response, events, j, i)
+                h_col[i] = h
+                w -= h * Q[:, i]
+        else:
+            passes = 2 if orthogonalization == "cgs2" else 1
+            w = v.copy()
+            for _ in range(passes):
+                coeffs = Q[:, : j + 1].T @ w
+                for i in range(j + 1):
+                    coeffs[i] = _screen_outer(float(coeffs[i]), z_norm, detector,
+                                              detector_response, events, j, i)
+                w = w - Q[:, : j + 1] @ coeffs
+                h_col[: j + 1] += coeffs
+
+        h_sub = float(np.linalg.norm(w))
+        h_col[j + 1] = h_sub
+        resid_est = hess.add_column(h_col)
+        k = j + 1
+        history.append(resid_est)
+
+        # ----- breakdown trichotomy (Section VI-C) --------------------------
+        scale = max(float(np.abs(h_col[: j + 1]).max()) if j + 1 > 0 else 0.0, 1.0)
+        if h_sub <= BREAKDOWN_TOL * scale:
+            if hess.is_rank_deficient(tol=rank_tol):
+                events.record("rank_deficient", where="hessenberg", outer_iteration=j,
+                              smallest_singular_value=hess.smallest_singular_value())
+                status = SolverStatus.RANK_DEFICIENT
+            else:
+                events.record("happy_breakdown", where="hessenberg", outer_iteration=j)
+                status = SolverStatus.HAPPY_BREAKDOWN
+            break
+
+        Q[:, j + 1] = w / h_sub
+
+        if np.isfinite(resid_est) and resid_est <= target:
+            status = SolverStatus.CONVERGED
+            break
+
+    # ----- solution update from the flexible basis Z ------------------------
+    if k > 0:
+        y, lsq_info = solve_projected_lsq(
+            hess.R, hess.g, policy=policy, tol=lsq_tol,
+            H=hess.H if policy is not LeastSquaresPolicy.STANDARD else None,
+            beta=beta,
+        )
+        if lsq_info.get("fallback"):
+            events.record("lsq_fallback", where="least_squares", outer_iteration=k)
+        x = x + Z[:, :k] @ y
+
+    r = b - op.matvec(x)
+    matvecs += 1
+    residual_norm = float(np.linalg.norm(r))
+
+    if status is SolverStatus.MAX_ITERATIONS and residual_norm <= target:
+        status = SolverStatus.CONVERGED
+    if status is SolverStatus.RANK_DEFICIENT:
+        events.record("failure_reported", where="fgmres", outer_iteration=k)
+
+    return SolverResult(
+        x=x,
+        status=status,
+        iterations=k,
+        residual_norm=residual_norm,
+        history=history,
+        events=events,
+        matvecs=matvecs,
+    )
+
+
+def _screen_outer(h: float, z_norm: float, detector: Detector | None, response: str,
+                  events: EventLog, outer_iteration: int, mgs_index: int) -> float:
+    """Apply the (optional) detector to an outer Hessenberg coefficient.
+
+    The outer coefficients satisfy ``|h_ij| <= ||A z_j||_2 <= ||A||_2 ||z_j||``,
+    so the paper's unit-vector bound applies to ``h / ||z_j||``.
+    """
+    if detector is None:
+        return h
+    scaled = h / z_norm if z_norm > 0.0 else h
+    verdict = detector.check_scalar(scaled, site="outer_hessenberg")
+    if not verdict.flagged:
+        return h
+    events.record("fault_detected", where="outer_hessenberg", outer_iteration=outer_iteration,
+                  mgs_index=mgs_index, value=h, bound=verdict.bound, detector=verdict.detector,
+                  response=response)
+    if response == "zero":
+        return 0.0
+    if response == "clamp":
+        bound = verdict.bound * z_norm if np.isfinite(verdict.bound) else 0.0
+        return float(np.sign(h) * bound) if np.isfinite(h) else 0.0
+    if response == "raise":
+        from repro.core.exceptions import FaultDetectedError
+
+        raise FaultDetectedError(verdict)
+    # "flag" and "recompute" (nothing to recompute reliably here) keep the value.
+    return h

@@ -1,0 +1,182 @@
+"""FT-GMRES: the paper's fault-tolerant inner–outer (nested) solver.
+
+The outer iteration is Flexible GMRES executed reliably; the inner solves
+are plain GMRES executed *unreliably* inside a sandbox (Section IV): they may
+experience silent data corruption, and they only promise to return something
+in finite time.  The outer iteration "rolls forward" through whatever the
+inner solves return and drives convergence with reliably computed residuals.
+
+The experiment harness injects exactly one SDC event per nested solve into
+one Hessenberg coefficient of one inner solve, which is how Figures 3 and 4
+of the paper are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fgmres import FGMRESParameters, fgmres
+from repro.core.gmres import GMRESParameters, gmres
+from repro.core.status import NestedSolverResult, SolverResult, SolverStatus
+from repro.sparse.linear_operator import aslinearoperator
+from repro.utils.events import EventLog
+
+__all__ = ["FTGMRESParameters", "ft_gmres"]
+
+
+@dataclass
+class FTGMRESParameters:
+    """Configuration of the nested FT-GMRES solver.
+
+    Attributes
+    ----------
+    outer : FGMRESParameters
+        Options for the reliable outer FGMRES iteration.
+    inner : GMRESParameters
+        Options for the unreliable inner GMRES solves.  The paper runs every
+        inner solve for a fixed 25 iterations regardless of progress, which
+        corresponds to ``tol=0.0, maxiter=25`` (the default here).
+    """
+
+    outer: FGMRESParameters = field(default_factory=lambda: FGMRESParameters(tol=1e-8,
+                                                                             max_outer=100))
+    inner: GMRESParameters = field(default_factory=lambda: GMRESParameters(tol=0.0, maxiter=25))
+
+    @property
+    def inner_iterations(self) -> int:
+        """The per-inner-solve iteration budget."""
+        return self.inner.maxiter if self.inner.maxiter is not None else 25
+
+
+def ft_gmres(
+    A,
+    b,
+    x0=None,
+    *,
+    params: FTGMRESParameters | None = None,
+    outer_tol: float | None = None,
+    max_outer: int | None = None,
+    inner_iterations: int | None = None,
+    injector=None,
+    sandbox=None,
+    events: EventLog | None = None,
+) -> NestedSolverResult:
+    """Solve ``A x = b`` with the fault-tolerant nested FT-GMRES iteration.
+
+    Parameters
+    ----------
+    A : matrix or operator
+        System operator (used by both the inner and the outer iteration).
+    b : array_like
+        Right-hand side.
+    x0 : array_like, optional
+        Initial guess for the outer iteration.
+    params : FTGMRESParameters, optional
+        Full configuration.  The convenience keywords below override the
+        corresponding fields when given.
+    outer_tol : float, optional
+        Outer relative convergence tolerance.
+    max_outer : int, optional
+        Maximum number of outer iterations.
+    inner_iterations : int, optional
+        Fixed iteration count of every inner GMRES solve (paper: 25).
+    injector : FaultInjector, optional
+        Fault injector passed to the *inner* solves only — the outer
+        iteration always runs reliably, which is the sandbox model.
+    sandbox : Sandbox, optional
+        Explicit sandbox marking the unreliable region.  When omitted but an
+        injector is supplied, a fresh sandbox is created; the injector is
+        activated only while an inner solve is running inside it.
+    events : EventLog, optional
+        Merged event sink for the whole nested solve.
+
+    Returns
+    -------
+    NestedSolverResult
+    """
+    params = params or FTGMRESParameters()
+    if outer_tol is not None:
+        params = FTGMRESParameters(outer=params.outer.replace(tol=outer_tol), inner=params.inner)
+    if max_outer is not None:
+        params = FTGMRESParameters(outer=params.outer.replace(max_outer=max_outer),
+                                   inner=params.inner)
+    if inner_iterations is not None:
+        params = FTGMRESParameters(outer=params.outer,
+                                   inner=params.inner.replace(maxiter=inner_iterations))
+
+    if sandbox is None and injector is not None:
+        from repro.faults.sandbox import Sandbox
+
+        sandbox = Sandbox(name="ft-gmres-inner")
+    if sandbox is not None and injector is not None and hasattr(injector, "attach_sandbox"):
+        injector.attach_sandbox(sandbox)
+
+    events = events if events is not None else EventLog()
+    op = aslinearoperator(A)
+    n = op.shape[0]
+    inner_budget = params.inner_iterations
+    inner_results: list[SolverResult] = []
+
+    inner_kwargs = params.inner.as_kwargs()
+    inner_kwargs["tol"] = params.inner.tol
+    inner_kwargs["maxiter"] = inner_budget
+    # The paper's inner solves never restart: one Arnoldi cycle of
+    # `inner_iterations` steps per invocation.
+    inner_kwargs["restart"] = inner_budget
+
+    def inner_solver(q_j: np.ndarray, outer_iteration: int) -> np.ndarray:
+        """One unreliable inner solve: approximately solve ``A z = q_j``."""
+        inner_events = EventLog()
+        offset = outer_iteration * inner_budget
+
+        def run() -> SolverResult:
+            return gmres(
+                A,
+                q_j,
+                injector=injector,
+                events=inner_events,
+                outer_iteration=outer_iteration,
+                inner_solve_index=outer_iteration,
+                iteration_offset=offset,
+                **inner_kwargs,
+            )
+
+        if sandbox is not None:
+            with sandbox:
+                result = run()
+        else:
+            result = run()
+        inner_results.append(result)
+        events.extend(inner_events)
+        return result.x
+
+    outer = params.outer
+    outer_result = fgmres(
+        A,
+        b,
+        inner_solver=inner_solver,
+        x0=x0,
+        tol=outer.tol,
+        max_outer=outer.max_outer,
+        orthogonalization=outer.orthogonalization,
+        lsq_policy=outer.lsq_policy,
+        lsq_tol=outer.lsq_tol,
+        rank_tol=outer.rank_tol,
+        detector=outer.detector,
+        detector_response=outer.detector_response,
+        events=events,
+    )
+
+    total_inner = sum(r.iterations for r in inner_results)
+    return NestedSolverResult(
+        x=outer_result.x,
+        status=outer_result.status,
+        outer_iterations=outer_result.iterations,
+        total_inner_iterations=total_inner,
+        residual_norm=outer_result.residual_norm,
+        history=outer_result.history,
+        inner_results=inner_results,
+        events=events,
+    )

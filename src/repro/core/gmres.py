@@ -1,0 +1,315 @@
+"""GMRES with SDC detection, fault-injection hooks and restart.
+
+This implements Algorithm 1 of the paper (Saad & Schultz GMRES with Modified
+Gram–Schmidt), extended with:
+
+* optional right preconditioning (so the same routine can serve as the
+  preconditioned inner solver of FT-GMRES),
+* the Hessenberg-bound detector inserted exactly where the paper prescribes
+  (after each orthogonalization coefficient and after the subdiagonal norm),
+* the three projected least-squares policies of Section VI-D,
+* named fault-injection sites so the experiment harness can corrupt
+  individual coefficients,
+* restart (GMRES(m)) for long solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.arnoldi import ArnoldiContext, arnoldi_step
+from repro.core.detectors import Detector, HessenbergBoundDetector
+from repro.core.hessenberg import HessenbergMatrix
+from repro.core.least_squares import LeastSquaresPolicy, solve_projected_lsq
+from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
+from repro.sparse.linear_operator import LinearOperator, aslinearoperator
+from repro.sparse.norms import hessenberg_bound
+from repro.utils.events import EventLog
+from repro.utils.validation import as_dense_vector, check_square
+
+__all__ = ["GMRESParameters", "gmres"]
+
+
+@dataclass
+class GMRESParameters:
+    """Bundled GMRES options (used to configure the inner solver of FT-GMRES).
+
+    Every field mirrors the keyword argument of :func:`gmres` with the same
+    name; see that function for semantics.
+    """
+
+    tol: float = 1e-8
+    maxiter: int | None = None
+    restart: int | None = None
+    preconditioner: object | None = None
+    orthogonalization: str = "mgs"
+    lsq_policy: LeastSquaresPolicy | str = LeastSquaresPolicy.STANDARD
+    lsq_tol: float | None = None
+    detector: Detector | str | None = None
+    detector_response: str = "flag"
+    bound_method: str = "frobenius"
+
+    def replace(self, **changes) -> "GMRESParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_kwargs(self) -> dict:
+        """The parameters as a keyword dictionary for :func:`gmres`."""
+        return {
+            "tol": self.tol,
+            "maxiter": self.maxiter,
+            "restart": self.restart,
+            "preconditioner": self.preconditioner,
+            "orthogonalization": self.orthogonalization,
+            "lsq_policy": self.lsq_policy,
+            "lsq_tol": self.lsq_tol,
+            "detector": self.detector,
+            "detector_response": self.detector_response,
+            "bound_method": self.bound_method,
+        }
+
+
+def _resolve_preconditioner(preconditioner, n: int) -> Callable[[np.ndarray], np.ndarray] | None:
+    """Accept a Preconditioner, a callable, a matrix-like, or None."""
+    if preconditioner is None:
+        return None
+    if callable(preconditioner):
+        return preconditioner
+    if hasattr(preconditioner, "apply"):
+        return preconditioner.apply
+    op = aslinearoperator(preconditioner)
+    if op.shape != (n, n):
+        raise ValueError(f"preconditioner shape {op.shape} does not match system size {n}")
+    return op.matvec
+
+
+def _resolve_detector(detector, A, bound_method: str) -> Detector | None:
+    """Accept a Detector instance, the string "bound", or None."""
+    if detector is None or isinstance(detector, Detector):
+        return detector
+    if isinstance(detector, str):
+        if detector in ("bound", "hessenberg_bound"):
+            return HessenbergBoundDetector(hessenberg_bound(A, method=bound_method))
+        raise ValueError(f"unknown detector shorthand {detector!r}; expected 'bound'")
+    raise TypeError(f"detector must be a Detector, 'bound', or None, got {type(detector).__name__}")
+
+
+def gmres(
+    A,
+    b,
+    x0=None,
+    *,
+    tol: float = 1e-8,
+    maxiter: int | None = None,
+    restart: int | None = None,
+    preconditioner=None,
+    orthogonalization: str = "mgs",
+    lsq_policy=LeastSquaresPolicy.STANDARD,
+    lsq_tol: float | None = None,
+    detector: Detector | str | None = None,
+    detector_response: str = "flag",
+    bound_method: str = "frobenius",
+    injector=None,
+    events: EventLog | None = None,
+    outer_iteration: int = -1,
+    inner_solve_index: int = -1,
+    iteration_offset: int = 0,
+) -> SolverResult:
+    """Solve ``A x = b`` with (restarted, right-preconditioned) GMRES.
+
+    Parameters
+    ----------
+    A : matrix or operator
+        Anything accepted by :func:`repro.sparse.aslinearoperator`.
+    b : array_like
+        Right-hand side.
+    x0 : array_like, optional
+        Initial guess (default: zero vector).
+    tol : float
+        Relative convergence tolerance on ``||b - A x|| / ||b||``.  Use
+        ``tol=0`` to force a fixed number of iterations (the paper's inner
+        solves always run their full 25 iterations).
+    maxiter : int, optional
+        Total iteration budget across restart cycles.  Defaults to ``n``.
+    restart : int, optional
+        Restart length ``m``.  ``None`` means no restart (full GMRES up to
+        ``maxiter``).
+    preconditioner : Preconditioner, callable, matrix, or None
+        Right preconditioner ``M^{-1}`` applied as ``A M^{-1}``.
+    orthogonalization : {"mgs", "cgs", "cgs2"}
+        Orthogonalization variant; the paper uses Modified Gram–Schmidt.
+    lsq_policy : LeastSquaresPolicy or str
+        Policy for the projected least-squares solve (Section VI-D).
+    lsq_tol : float, optional
+        Singular-value truncation tolerance for the rank-revealing policies.
+    detector : Detector, "bound", or None
+        SDC detector applied to every Hessenberg coefficient.  The string
+        ``"bound"`` builds a :class:`HessenbergBoundDetector` from ``A``
+        using ``bound_method``.
+    detector_response : {"flag", "zero", "clamp", "recompute", "raise"}
+        Response applied when the detector flags a value.
+    bound_method : {"frobenius", "two_norm", "exact"}
+        Norm used when ``detector="bound"``.
+    injector : FaultInjector, optional
+        Fault injector with access to the named sites (see
+        :mod:`repro.core.arnoldi`).
+    events : EventLog, optional
+        Event sink; a new log is created when omitted.
+    outer_iteration, inner_solve_index, iteration_offset : int
+        Bookkeeping for nested (FT-GMRES) use: they position this solve's
+        iterations on the "aggregate inner iteration" axis of the paper's
+        figures.
+
+    Returns
+    -------
+    SolverResult
+    """
+    op: LinearOperator = aslinearoperator(A)
+    n = check_square(op.shape, "A")
+    b = as_dense_vector(b, n, "b")
+    x = as_dense_vector(x0, n, "x0") if x0 is not None else np.zeros(n, dtype=np.float64)
+
+    if maxiter is None:
+        maxiter = n
+    if maxiter <= 0:
+        raise ValueError(f"maxiter must be positive, got {maxiter}")
+    m = restart if restart is not None else maxiter
+    if m <= 0:
+        raise ValueError(f"restart must be positive, got {restart}")
+    m = min(m, maxiter)
+    policy = LeastSquaresPolicy.coerce(lsq_policy)
+    det = _resolve_detector(detector, A, bound_method)
+    apply_precond = _resolve_preconditioner(preconditioner, n)
+
+    events = events if events is not None else EventLog()
+    history = ConvergenceHistory()
+    ctx = ArnoldiContext(
+        injector=injector,
+        detector=det,
+        detector_response=detector_response,
+        events=events,
+        outer_iteration=outer_iteration,
+        inner_solve_index=inner_solve_index,
+        iteration_offset=iteration_offset,
+    )
+
+    norm_b = float(np.linalg.norm(b))
+    target = tol * norm_b if norm_b > 0.0 else tol
+
+    if apply_precond is None:
+        operator_apply = None  # arnoldi_step will call op.matvec directly
+    else:
+        def operator_apply(q, _op=op, _mi=apply_precond):
+            return _op.matvec(_mi(q))
+
+    total_iterations = 0
+    status = SolverStatus.MAX_ITERATIONS
+    residual_norm = float("nan")
+
+    # Initial residual (reliable).
+    r = b - op.matvec(x)
+    ctx.matvecs += 1
+    residual_norm = float(np.linalg.norm(r))
+    history.append(residual_norm)
+    if residual_norm <= target:
+        return SolverResult(x, SolverStatus.CONVERGED, 0, residual_norm, history, events,
+                            ctx.matvecs)
+
+    while total_iterations < maxiter:
+        beta = float(np.linalg.norm(r))
+        if not np.isfinite(beta) or beta == 0.0:
+            status = SolverStatus.STAGNATED if beta == 0.0 else SolverStatus.MAX_ITERATIONS
+            break
+        cycle_len = min(m, maxiter - total_iterations)
+        basis = np.zeros((n, cycle_len + 1), dtype=np.float64)
+        basis[:, 0] = r / beta
+        hess = HessenbergMatrix(cycle_len, beta)
+
+        k = 0
+        cycle_status = None
+        for j in range(cycle_len):
+            h_col, q_next, breakdown = arnoldi_step(
+                op, basis, j, ctx, orthogonalization=orthogonalization,
+                apply_operator=operator_apply,
+            )
+            resid_est = hess.add_column(h_col)
+            total_iterations += 1
+            k = j + 1
+            history.append(resid_est)
+            if breakdown:
+                cycle_status = SolverStatus.HAPPY_BREAKDOWN
+                break
+            if np.isfinite(resid_est) and resid_est <= target:
+                cycle_status = SolverStatus.CONVERGED
+                break
+
+        # Form the solution update from this cycle.
+        if k > 0:
+            y, lsq_info = solve_projected_lsq(
+                hess.R, hess.g, policy=policy, tol=lsq_tol,
+                H=hess.H if policy is not LeastSquaresPolicy.STANDARD else None,
+                beta=beta,
+            )
+            if lsq_info.get("fallback"):
+                events.record("lsq_fallback", where="least_squares",
+                              outer_iteration=outer_iteration, inner_iteration=total_iterations)
+            if not lsq_info.get("finite", True):
+                events.record("lsq_nonfinite", where="least_squares",
+                              outer_iteration=outer_iteration, inner_iteration=total_iterations)
+            update = basis[:, :k] @ y
+            if apply_precond is not None:
+                update = apply_precond(update)
+            with np.errstate(invalid="ignore", over="ignore"):
+                x = x + update
+
+        # True residual for the next cycle / convergence confirmation.
+        with np.errstate(invalid="ignore", over="ignore"):
+            r = b - op.matvec(x)
+        ctx.matvecs += 1
+        residual_norm = float(np.linalg.norm(r))
+
+        if cycle_status is SolverStatus.HAPPY_BREAKDOWN:
+            # In exact, fault-free arithmetic a happy breakdown means the exact
+            # solution was found.  Under SDC the subdiagonal can collapse
+            # spuriously (e.g. a huge corrupted coefficient makes the new basis
+            # vector a duplicate), so verify the claim against the reliably
+            # computed residual before declaring success; otherwise keep
+            # iterating (restart) if budget remains, or report stagnation.
+            breakdown_target = max(target, 1e-13 * norm_b)
+            if residual_norm <= breakdown_target:
+                status = SolverStatus.HAPPY_BREAKDOWN
+                break
+            events.record("spurious_breakdown", where="gmres",
+                          outer_iteration=outer_iteration,
+                          inner_iteration=total_iterations,
+                          residual_norm=residual_norm)
+            if total_iterations >= maxiter:
+                status = SolverStatus.STAGNATED
+                break
+            continue
+        if cycle_status is SolverStatus.CONVERGED and residual_norm <= max(target, 0.0) * (1 + 1e-8):
+            status = SolverStatus.CONVERGED
+            break
+        if cycle_status is SolverStatus.CONVERGED:
+            # The Givens estimate said converged but the true residual
+            # disagrees (possible under SDC): keep iterating if budget allows.
+            if total_iterations >= maxiter:
+                status = SolverStatus.MAX_ITERATIONS
+                break
+            continue
+        if total_iterations >= maxiter:
+            status = SolverStatus.MAX_ITERATIONS
+            break
+
+    return SolverResult(
+        x=x,
+        status=status,
+        iterations=total_iterations,
+        residual_norm=residual_norm,
+        history=history,
+        events=events,
+        matvecs=ctx.matvecs,
+    )

@@ -1,0 +1,212 @@
+"""The projected least-squares problem and its robustness policies.
+
+Every GMRES iteration ends by solving
+
+    min_y || H_k y - beta e_1 ||_2
+
+for the solution-update coefficients ``y`` (Eq. (4) of the paper).  Saad and
+Schultz solve it through the incremental Givens QR factorization and a
+triangular back-substitution.  That back-substitution can produce unbounded
+coefficients when the triangular factor is (nearly) singular — which a fault
+in the Arnoldi process can cause.  Section VI-D of the paper therefore
+defines three policies, implemented here:
+
+1. ``STANDARD``        — plain triangular solve (Saad & Schultz).
+2. ``HYBRID``          — triangular solve, falling back to the rank-revealing
+                         solve only when the result contains Inf or NaN.
+3. ``RANK_REVEALING``  — always solve through a truncated SVD, yielding the
+                         minimum-norm solution with singular values below a
+                         tolerance discarded.
+
+The paper recommends policy 1 or 3; policy 2 "conceals the natural error
+detection" of IEEE-754 without bounding the error, and the experiments here
+let you verify that claim (see ``benchmarks/bench_ablation_lsq.py``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "LeastSquaresPolicy",
+    "solve_triangular",
+    "solve_rank_revealing",
+    "solve_projected_lsq",
+]
+
+
+class LeastSquaresPolicy(Enum):
+    """Policy for solving the projected least-squares problem."""
+
+    STANDARD = "standard"
+    HYBRID = "hybrid"
+    RANK_REVEALING = "rank_revealing"
+
+    @classmethod
+    def coerce(cls, value) -> "LeastSquaresPolicy":
+        """Accept a policy instance or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown least-squares policy {value!r}; "
+                f"expected one of {[p.value for p in cls]}"
+            ) from exc
+
+
+def solve_triangular(R: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Back-substitution for an upper-triangular system ``R y = rhs``.
+
+    No singularity handling whatsoever — a zero pivot produces Inf/NaN, which
+    is exactly the behaviour the HYBRID policy relies on for its fallback
+    test and the behaviour the paper attributes to the standard approach.
+    """
+    R = np.asarray(R, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64).ravel()
+    k = R.shape[1]
+    if R.shape[0] < k or rhs.shape[0] < k:
+        raise ValueError(f"inconsistent triangular system: R {R.shape}, rhs {rhs.shape}")
+    y = np.zeros(k, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for i in range(k - 1, -1, -1):
+            acc = rhs[i] - np.dot(R[i, i + 1 : k], y[i + 1 : k])
+            y[i] = acc / R[i, i]
+    return y
+
+
+def solve_rank_revealing(M: np.ndarray, rhs: np.ndarray, tol: float | None = None
+                         ) -> tuple[np.ndarray, int]:
+    """Minimum-norm least-squares solution of ``M y ≈ rhs`` via truncated SVD.
+
+    Parameters
+    ----------
+    M : numpy.ndarray
+        The (small) projected matrix — either the ``(k+1) x k`` Hessenberg
+        matrix or the ``k x k`` triangular factor.
+    rhs : numpy.ndarray
+        Right-hand side of matching length.
+    tol : float, optional
+        Relative truncation tolerance: singular values below
+        ``tol * sigma_max`` are discarded.  Defaults to
+        ``max(M.shape) * eps``, the usual numerical-rank tolerance.
+
+    Returns
+    -------
+    y : numpy.ndarray
+        The minimum-norm solution restricted to the retained singular space.
+    rank : int
+        Number of singular values retained.
+
+    Notes
+    -----
+    Non-finite entries in ``M`` or ``rhs`` are replaced by zero before the
+    SVD: LAPACK's SVD does not accept NaN/Inf, and the paper's policy 3 is
+    meant to produce a *bounded* update no matter how badly the inputs were
+    corrupted.  The replacement is recorded in the returned rank only
+    implicitly (the corrupted directions carry no information either way).
+    """
+    M = np.asarray(M, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64).ravel()
+    if M.ndim != 2 or rhs.shape[0] != M.shape[0]:
+        raise ValueError(f"inconsistent least-squares system: M {M.shape}, rhs {rhs.shape}")
+    if not np.all(np.isfinite(M)):
+        M = np.nan_to_num(M, nan=0.0, posinf=0.0, neginf=0.0)
+    if not np.all(np.isfinite(rhs)):
+        rhs = np.nan_to_num(rhs, nan=0.0, posinf=0.0, neginf=0.0)
+    if M.shape[1] == 0:
+        return np.zeros(0, dtype=np.float64), 0
+    U, s, Vt = np.linalg.svd(M, full_matrices=False)
+    if s.size == 0 or s[0] == 0.0:
+        return np.zeros(M.shape[1], dtype=np.float64), 0
+    if tol is None:
+        tol = max(M.shape) * np.finfo(np.float64).eps
+    keep = s > tol * s[0]
+    rank = int(np.count_nonzero(keep))
+    if rank == 0:
+        return np.zeros(M.shape[1], dtype=np.float64), 0
+    coeffs = (U[:, keep].T @ rhs) / s[keep]
+    y = Vt[keep, :].T @ coeffs
+    return y, rank
+
+
+def solve_projected_lsq(
+    R: np.ndarray,
+    g: np.ndarray,
+    policy=LeastSquaresPolicy.STANDARD,
+    tol: float | None = None,
+    H: np.ndarray | None = None,
+    beta: float | None = None,
+) -> tuple[np.ndarray, dict]:
+    """Solve for GMRES's solution-update coefficients under a chosen policy.
+
+    Parameters
+    ----------
+    R : numpy.ndarray
+        The ``k x k`` upper-triangular factor from the incremental Givens QR.
+    g : numpy.ndarray
+        The rotated right-hand side (length ``k`` or ``k+1``; only the first
+        ``k`` entries are used by the triangular solve).
+    policy : LeastSquaresPolicy or str
+        Which of the three policies to apply.
+    tol : float, optional
+        Truncation tolerance for the rank-revealing solves.
+    H : numpy.ndarray, optional
+        The full ``(k+1) x k`` Hessenberg matrix.  When provided, the
+        rank-revealing policy solves the original problem
+        ``min ||H y - beta e1||`` directly (equivalent in exact arithmetic to
+        solving with ``R``; the paper applies the technique to ``R`` after
+        the Givens rotations, which is what happens when ``H`` is omitted).
+    beta : float, optional
+        Initial residual norm, required when ``H`` is given.
+
+    Returns
+    -------
+    y : numpy.ndarray
+        The update coefficients (length ``k``).
+    info : dict
+        Diagnostics: ``{"policy", "fallback", "rank", "finite"}`` where
+        ``fallback`` is True when the HYBRID policy had to switch to the
+        rank-revealing solve.
+    """
+    policy = LeastSquaresPolicy.coerce(policy)
+    R = np.asarray(R, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64).ravel()
+    k = R.shape[1]
+    rhs = g[:k]
+    info = {"policy": policy.value, "fallback": False, "rank": k, "finite": True}
+
+    if policy is LeastSquaresPolicy.STANDARD:
+        y = solve_triangular(R, rhs)
+        info["finite"] = bool(np.all(np.isfinite(y)))
+        return y, info
+
+    if policy is LeastSquaresPolicy.HYBRID:
+        y = solve_triangular(R, rhs)
+        if np.all(np.isfinite(y)):
+            return y, info
+        info["fallback"] = True
+        y, rank = _rank_revealing_dispatch(R, rhs, H, beta, tol)
+        info["rank"] = rank
+        info["finite"] = bool(np.all(np.isfinite(y)))
+        return y, info
+
+    # RANK_REVEALING
+    y, rank = _rank_revealing_dispatch(R, rhs, H, beta, tol)
+    info["rank"] = rank
+    info["finite"] = bool(np.all(np.isfinite(y)))
+    return y, info
+
+
+def _rank_revealing_dispatch(R, rhs, H, beta, tol) -> tuple[np.ndarray, int]:
+    """Solve rank-revealing either on the triangular factor or the full H."""
+    if H is not None:
+        if beta is None:
+            raise ValueError("beta must be provided when solving with the full Hessenberg matrix")
+        e1 = np.zeros(H.shape[0], dtype=np.float64)
+        e1[0] = float(beta)
+        return solve_rank_revealing(H, e1, tol=tol)
+    return solve_rank_revealing(R, rhs, tol=tol)

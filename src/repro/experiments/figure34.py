@@ -1,0 +1,150 @@
+"""Figures 3 and 4 — single-SDC injection sweeps over the nested solver.
+
+Each figure of the paper is a set of three panels (one per fault class)
+showing the number of outer iterations FT-GMRES needs to converge when a
+single SDC event is injected at every possible aggregate inner iteration:
+
+* Figure 3: the Poisson (SPD) problem; (a) fault on the first MGS iteration,
+  (b) fault on the last MGS iteration.
+* Figure 4: the circuit (nonsymmetric) problem; same two panels.
+
+:func:`run_fault_sweep` produces one panel set (one
+:class:`~repro.faults.campaign.CampaignResult`); :class:`FigureSweep` bundles
+the "first" and "last" campaigns of a figure together with rendering helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.detectors import Detector
+from repro.experiments.report import ascii_series_plot, format_table
+from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.faults.models import FaultModel, PAPER_FAULT_CLASSES
+from repro.gallery.problems import TestProblem, circuit_problem, poisson_problem
+
+__all__ = ["run_fault_sweep", "FigureSweep", "figure3", "figure4"]
+
+
+def run_fault_sweep(
+    problem: TestProblem,
+    *,
+    mgs_position: str = "first",
+    detector: Detector | str | None = None,
+    detector_response: str = "zero",
+    fault_classes: dict[str, FaultModel] | None = None,
+    inner_iterations: int = 25,
+    max_outer: int = 100,
+    outer_tol: float = 1e-8,
+    stride: int = 1,
+    locations=None,
+    progress=None,
+) -> CampaignResult:
+    """Run one injection sweep (one sub-figure of Figure 3 or 4).
+
+    Parameters mirror :class:`repro.faults.campaign.FaultCampaign`; see there
+    for semantics.  ``stride`` subsamples the injection locations for fast
+    benchmark configurations (``stride=1`` is the paper's exhaustive sweep).
+    """
+    campaign = FaultCampaign(
+        problem,
+        inner_iterations=inner_iterations,
+        max_outer=max_outer,
+        outer_tol=outer_tol,
+        fault_classes=fault_classes if fault_classes is not None else PAPER_FAULT_CLASSES,
+        mgs_position=mgs_position,
+        detector=detector,
+        detector_response=detector_response,
+    )
+    return campaign.run(locations=locations, stride=stride, progress=progress)
+
+
+@dataclass
+class FigureSweep:
+    """A complete figure: sweeps for both MGS positions on one problem."""
+
+    problem_name: str
+    first: CampaignResult
+    last: CampaignResult
+    metadata: dict = field(default_factory=dict)
+
+    def panels(self) -> dict[str, CampaignResult]:
+        """The two sub-figures keyed by MGS position."""
+        return {"first": self.first, "last": self.last}
+
+    def render(self, width: int = 64, height: int = 10) -> str:
+        """Render all panels as ASCII plots plus a summary table."""
+        chunks = []
+        for position, campaign in self.panels().items():
+            chunks.append(
+                f"=== {self.problem_name}: SDC on the {position} MGS iteration "
+                f"(failure-free outer iterations = {campaign.failure_free_outer}) ==="
+            )
+            for fault_class in campaign.fault_classes():
+                x, y = campaign.series(fault_class)
+                description = next(
+                    (t.fault_description for t in campaign.trials
+                     if t.fault_class == fault_class), fault_class)
+                chunks.append(ascii_series_plot(
+                    x, y, width=width, height=height,
+                    title=f"fault class: {fault_class} ({description})",
+                    xlabel="aggregate inner solve iteration that faults",
+                    ylabel="outer iterations",
+                ))
+            rows = [
+                [cls,
+                 campaign.max_outer(cls),
+                 campaign.max_increase(cls),
+                 f"{campaign.percent_increase(cls):.1f}%",
+                 f"{campaign.detection_rate(cls) * 100:.0f}%"]
+                for cls in campaign.fault_classes()
+            ]
+            chunks.append(format_table(
+                ["fault class", "worst outer", "max increase", "% increase", "detected"],
+                rows,
+            ))
+        return "\n\n".join(chunks)
+
+
+def _figure(problem: TestProblem, **kwargs) -> FigureSweep:
+    first = run_fault_sweep(problem, mgs_position="first", **kwargs)
+    last = run_fault_sweep(problem, mgs_position="last", **kwargs)
+    return FigureSweep(problem_name=problem.name, first=first, last=last,
+                       metadata={"options": dict(kwargs)})
+
+
+def figure3(grid_n: int = 100, stride: int = 1, detector=None, **kwargs) -> FigureSweep:
+    """Reproduce Figure 3 (Poisson / SPD problem).
+
+    Parameters
+    ----------
+    grid_n : int
+        Poisson grid size per side (100 reproduces the paper's 10,000-row
+        matrix; smaller values give the fast configurations).
+    stride : int
+        Injection-location subsampling (1 = exhaustive, as in the paper).
+    detector : {"bound", None} or Detector
+        Detector configuration for the inner solves.
+    **kwargs
+        Forwarded to :func:`run_fault_sweep`.
+    """
+    problem = poisson_problem(grid_n)
+    return _figure(problem, stride=stride, detector=detector, **kwargs)
+
+
+def figure4(n_nodes: int = 25187, stride: int = 1, detector=None, **kwargs) -> FigureSweep:
+    """Reproduce Figure 4 (circuit / nonsymmetric ill-conditioned problem).
+
+    Parameters
+    ----------
+    n_nodes : int
+        Circuit-surrogate dimension (25187 matches the real matrix's size).
+    stride : int
+        Injection-location subsampling.
+    detector : {"bound", None} or Detector
+        Detector configuration for the inner solves.
+    **kwargs
+        Forwarded to :func:`run_fault_sweep`.
+    """
+    problem = circuit_problem(n_nodes)
+    return _figure(problem, stride=stride, detector=detector, **kwargs)

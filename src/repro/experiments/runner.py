@@ -1,0 +1,146 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's artifacts without going through pytest:
+
+.. code-block:: bash
+
+    python -m repro.experiments.runner table1 --scale small
+    python -m repro.experiments.runner fig2
+    python -m repro.experiments.runner fig3 --scale small --stride 5
+    python -m repro.experiments.runner fig4 --scale tiny --stride 5
+    python -m repro.experiments.runner summary --scale small --stride 5
+    python -m repro.experiments.runner all --scale tiny --stride 10
+
+Each subcommand prints the same report as the corresponding benchmark in
+``benchmarks/`` (tables and ASCII series plots).  The ``--scale`` choices
+match ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/``paper``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments.figure2 import figure2_comparison
+from repro.experiments.figure34 import FigureSweep, run_fault_sweep
+from repro.experiments.report import format_table
+from repro.experiments.summary import detector_comparison, summarize_campaign
+from repro.experiments.table1 import table1_rows
+from repro.faults.campaign import FaultCampaign
+from repro.gallery.problems import paper_problems
+
+__all__ = ["main", "build_parser", "run_experiment"]
+
+EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "summary")
+
+#: Outer-iteration budgets per problem used by the sweep experiments.
+MAX_OUTER = {"poisson": 100, "circuit": 200}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the runner CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        choices=list(EXPERIMENTS) + ["all"],
+                        help="which artifacts to regenerate")
+    parser.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium", "paper"],
+                        help="problem sizes (paper = Table I sizes)")
+    parser.add_argument("--stride", type=int, default=5,
+                        help="injection-location stride for the sweeps (1 = exhaustive)")
+    parser.add_argument("--detector", default=None, choices=[None, "bound"],
+                        help="enable the Hessenberg-bound detector in the inner solves")
+    parser.add_argument("--inner-iterations", type=int, default=25,
+                        help="inner GMRES iterations per outer iteration")
+    return parser
+
+
+def _print_table1(problems, scale: str) -> None:
+    headers, rows = table1_rows(problems, compute_condition=(scale != "paper"))
+    print(format_table(headers, rows, title=f"Table I (scale={scale})"))
+
+
+def _print_fig2(problems) -> None:
+    result = figure2_comparison(problems["poisson"].A, problems["circuit"].A, steps=10)
+    print("Figure 2 — structure of the projected matrix H")
+    print(f"  SPD:          tridiagonal={result['spd']['is_tridiagonal']} "
+          f"(bandwidth {result['spd']['bandwidth']})")
+    print(f"  nonsymmetric: tridiagonal={result['nonsymmetric']['is_tridiagonal']} "
+          f"(bandwidth {result['nonsymmetric']['bandwidth']})")
+    print("  SPD pattern:")
+    print("    " + result["spd"]["pattern"].replace("\n", "\n    "))
+    print("  nonsymmetric pattern:")
+    print("    " + result["nonsymmetric"]["pattern"].replace("\n", "\n    "))
+
+
+def _run_figure(problem, label: str, args) -> None:
+    panels = {}
+    for position in ("first", "last"):
+        panels[position] = run_fault_sweep(
+            problem,
+            mgs_position=position,
+            detector=args.detector,
+            inner_iterations=args.inner_iterations,
+            max_outer=MAX_OUTER["poisson" if problem.spd else "circuit"],
+            stride=args.stride,
+        )
+    figure = FigureSweep(problem_name=problem.name, first=panels["first"],
+                         last=panels["last"])
+    print(f"{label} — single-SDC sweep on {problem.name}")
+    print(figure.render())
+
+
+def _print_summary(problems, args) -> None:
+    problem = problems["poisson"]
+    campaigns = {}
+    for detector in (None, "bound"):
+        campaign = FaultCampaign(
+            problem, inner_iterations=args.inner_iterations,
+            max_outer=MAX_OUTER["poisson"], mgs_position="first",
+            detector=detector, detector_response="zero")
+        campaigns[detector] = campaign.run(stride=args.stride)
+    comparison = detector_comparison(campaigns[None], campaigns["bound"])
+    print("Section VII-E summary (Poisson):")
+    for key, campaign in (("without detector", campaigns[None]),
+                          ("with detector", campaigns["bound"])):
+        summary = summarize_campaign(campaign)
+        print(f"  {key}: failure-free outer = {summary['failure_free_outer']}, "
+              f"worst-case increase = +{summary['worst_case_increase']} "
+              f"({summary['worst_case_percent']:.1f}%)")
+    print(f"  detector helps or is neutral: {comparison['detector_helps']}")
+
+
+def run_experiment(name: str, problems, args) -> None:
+    """Run one named experiment and print its report."""
+    if name == "table1":
+        _print_table1(problems, args.scale)
+    elif name == "fig2":
+        _print_fig2(problems)
+    elif name == "fig3":
+        _run_figure(problems["poisson"], "Figure 3", args)
+    elif name == "fig4":
+        _run_figure(problems["circuit"], "Figure 4", args)
+    elif name == "summary":
+        _print_summary(problems, args)
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    problems = paper_problems(args.scale)
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        run_experiment(name, problems, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

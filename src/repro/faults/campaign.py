@@ -1,0 +1,307 @@
+"""Fault-injection campaigns: the engine behind Figures 3 and 4.
+
+A campaign runs the nested FT-GMRES solver once without faults to establish
+the failure-free iteration count, then once per (fault class, injection
+location) pair, injecting exactly one SDC event per run into the chosen
+Hessenberg coefficient.  The result is the set of series plotted in the
+paper: "number of outer iterations to convergence" versus "aggregate inner
+solve iteration that faults".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detectors import Detector, HessenbergBoundDetector
+from repro.core.ftgmres import FTGMRESParameters, ft_gmres
+from repro.core.gmres import GMRESParameters
+from repro.core.fgmres import FGMRESParameters
+from repro.core.status import NestedSolverResult
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultModel, PAPER_FAULT_CLASSES
+from repro.faults.schedule import InjectionSchedule
+from repro.gallery.problems import TestProblem
+from repro.sparse.norms import hessenberg_bound
+
+__all__ = ["TrialRecord", "CampaignResult", "FaultCampaign", "sweep_injection_locations"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one faulted nested solve."""
+
+    fault_class: str
+    fault_description: str
+    aggregate_inner_iteration: int
+    mgs_position: str
+    outer_iterations: int
+    total_inner_iterations: int
+    converged: bool
+    status: str
+    residual_norm: float
+    faults_injected: int
+    faults_detected: int
+    detector_enabled: bool
+
+
+@dataclass
+class CampaignResult:
+    """All trials of a campaign plus the failure-free reference."""
+
+    problem_name: str
+    mgs_position: str
+    inner_iterations: int
+    detector_enabled: bool
+    failure_free_outer: int
+    failure_free_residual: float
+    trials: list[TrialRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def fault_classes(self) -> list[str]:
+        """Fault-class labels present in the campaign, in first-seen order."""
+        seen: list[str] = []
+        for t in self.trials:
+            if t.fault_class not in seen:
+                seen.append(t.fault_class)
+        return seen
+
+    def series(self, fault_class: str) -> tuple[np.ndarray, np.ndarray]:
+        """The plotted series for one fault class.
+
+        Returns ``(locations, outer_iterations)`` sorted by location — the x
+        and y data of one panel of Figure 3 or 4.
+        """
+        pts = [(t.aggregate_inner_iteration, t.outer_iterations)
+               for t in self.trials if t.fault_class == fault_class]
+        pts.sort()
+        if not pts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        locations, outers = zip(*pts)
+        return np.asarray(locations, dtype=np.int64), np.asarray(outers, dtype=np.int64)
+
+    def max_outer(self, fault_class: str) -> int:
+        """Worst-case outer-iteration count over the sweep for one class."""
+        _, outers = self.series(fault_class)
+        return int(outers.max()) if outers.size else 0
+
+    def max_increase(self, fault_class: str) -> int:
+        """Worst-case increase over the failure-free outer count."""
+        return max(self.max_outer(fault_class) - self.failure_free_outer, 0)
+
+    def percent_increase(self, fault_class: str) -> float:
+        """Worst-case percentage increase in time-to-solution (outer iterations)."""
+        if self.failure_free_outer == 0:
+            return 0.0
+        return 100.0 * self.max_increase(fault_class) / self.failure_free_outer
+
+    def detection_rate(self, fault_class: str) -> float:
+        """Fraction of trials of this class in which the detector fired."""
+        trials = [t for t in self.trials if t.fault_class == fault_class]
+        if not trials:
+            return 0.0
+        return sum(1 for t in trials if t.faults_detected > 0) / len(trials)
+
+    def non_converged(self) -> list[TrialRecord]:
+        """Trials that failed to converge within the outer-iteration budget."""
+        return [t for t in self.trials if not t.converged]
+
+    def summary(self) -> dict:
+        """Aggregate statistics keyed by fault class (used by EXPERIMENTS.md)."""
+        return {
+            cls: {
+                "max_outer": self.max_outer(cls),
+                "max_increase": self.max_increase(cls),
+                "percent_increase": self.percent_increase(cls),
+                "detection_rate": self.detection_rate(cls),
+                "trials": sum(1 for t in self.trials if t.fault_class == cls),
+            }
+            for cls in self.fault_classes()
+        }
+
+
+class FaultCampaign:
+    """Sweep single-SDC injections over every inner-iteration location.
+
+    Parameters
+    ----------
+    problem : TestProblem
+        The linear system to solve (see :mod:`repro.gallery.problems`).
+    inner_iterations : int
+        Fixed inner GMRES iteration count per outer iteration (paper: 25).
+    max_outer : int
+        Outer-iteration budget; trials that need more are reported as
+        non-converged at this count.
+    outer_tol : float
+        Outer relative residual tolerance.
+    fault_classes : dict[str, FaultModel]
+        The corruption models to sweep (default: the paper's three classes).
+    mgs_position : {"first", "last"}
+        Which Modified Gram–Schmidt coefficient to corrupt (Figures 3a/4a use
+        "first", 3b/4b use "last").
+    detector : {"bound", None} or Detector
+        ``"bound"`` enables the paper's Hessenberg-bound detector (built from
+        ``||A||_F``); ``None`` disables detection.
+    detector_response : str
+        Response policy when the detector fires (default ``"zero"``:
+        filter the impossible value, as the paper advocates).
+    inner_params, outer_params : optional
+        Overrides for the nested-solver configuration.
+    site : str
+        Injection site (default ``"hessenberg"``).
+    """
+
+    def __init__(
+        self,
+        problem: TestProblem,
+        *,
+        inner_iterations: int = 25,
+        max_outer: int = 100,
+        outer_tol: float = 1e-8,
+        fault_classes: dict[str, FaultModel] | None = None,
+        mgs_position: str = "first",
+        detector: Detector | str | None = None,
+        detector_response: str = "zero",
+        inner_params: GMRESParameters | None = None,
+        outer_params: FGMRESParameters | None = None,
+        site: str = "hessenberg",
+    ):
+        self.problem = problem
+        self.inner_iterations = int(inner_iterations)
+        self.max_outer = int(max_outer)
+        self.outer_tol = float(outer_tol)
+        self.fault_classes = dict(fault_classes if fault_classes is not None
+                                  else PAPER_FAULT_CLASSES)
+        if mgs_position not in ("first", "last"):
+            raise ValueError(f"mgs_position must be 'first' or 'last', got {mgs_position!r}")
+        self.mgs_position = mgs_position
+        self.site = site
+        self.detector_response = detector_response
+
+        resolved_detector: Detector | None
+        if detector is None or isinstance(detector, Detector):
+            resolved_detector = detector
+        elif detector in ("bound", "hessenberg_bound"):
+            resolved_detector = HessenbergBoundDetector(hessenberg_bound(problem.A))
+        else:
+            raise ValueError(f"unknown detector specification {detector!r}")
+        self.detector = resolved_detector
+
+        inner = inner_params or GMRESParameters(tol=0.0, maxiter=self.inner_iterations)
+        inner = inner.replace(
+            maxiter=self.inner_iterations,
+            detector=self.detector,
+            detector_response=detector_response,
+        )
+        outer = outer_params or FGMRESParameters(tol=self.outer_tol, max_outer=self.max_outer)
+        outer = outer.replace(tol=self.outer_tol, max_outer=self.max_outer)
+        self.params = FTGMRESParameters(outer=outer, inner=inner)
+
+    # ------------------------------------------------------------------ #
+    def run_failure_free(self) -> NestedSolverResult:
+        """Run the nested solver without any fault injection."""
+        return ft_gmres(self.problem.A, self.problem.b, self.problem.x0, params=self.params)
+
+    def run_single(self, fault_class: str, model: FaultModel,
+                   aggregate_inner_iteration: int) -> TrialRecord:
+        """Run one faulted nested solve and summarize it as a TrialRecord."""
+        schedule = InjectionSchedule(
+            site=self.site,
+            aggregate_inner_iteration=int(aggregate_inner_iteration),
+            mgs_position=self.mgs_position,
+            persistence="transient",
+        )
+        injector = FaultInjector(model, schedule)
+        result = ft_gmres(self.problem.A, self.problem.b, self.problem.x0,
+                          params=self.params, injector=injector)
+        return TrialRecord(
+            fault_class=fault_class,
+            fault_description=model.describe(),
+            aggregate_inner_iteration=int(aggregate_inner_iteration),
+            mgs_position=self.mgs_position,
+            outer_iterations=result.outer_iterations,
+            total_inner_iterations=result.total_inner_iterations,
+            converged=result.converged,
+            status=result.status.value,
+            residual_norm=result.residual_norm,
+            faults_injected=injector.injections_performed,
+            faults_detected=result.faults_detected,
+            detector_enabled=self.detector is not None,
+        )
+
+    def run(self, locations=None, stride: int = 1, progress=None) -> CampaignResult:
+        """Run the full campaign.
+
+        Parameters
+        ----------
+        locations : sequence of int, optional
+            Aggregate inner-iteration indices to fault.  Defaults to every
+            index reachable in the failure-free run
+            (``failure_free_outer * inner_iterations``), exactly as in the
+            paper.
+        stride : int
+            Keep every ``stride``-th default location (used by the fast
+            benchmark configurations; ``stride=1`` reproduces the paper).
+        progress : callable, optional
+            ``progress(done, total)`` callback.
+
+        Returns
+        -------
+        CampaignResult
+        """
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        baseline = self.run_failure_free()
+        failure_free_outer = baseline.outer_iterations
+        if locations is None:
+            total_locations = max(failure_free_outer, 1) * self.inner_iterations
+            locations = range(0, total_locations, stride)
+        locations = [int(loc) for loc in locations]
+
+        result = CampaignResult(
+            problem_name=self.problem.name,
+            mgs_position=self.mgs_position,
+            inner_iterations=self.inner_iterations,
+            detector_enabled=self.detector is not None,
+            failure_free_outer=failure_free_outer,
+            failure_free_residual=baseline.residual_norm,
+        )
+        total = len(locations) * len(self.fault_classes)
+        done = 0
+        for fault_class, model in self.fault_classes.items():
+            for loc in locations:
+                result.trials.append(self.run_single(fault_class, model, loc))
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return result
+
+
+def sweep_injection_locations(
+    problem: TestProblem,
+    *,
+    fault_classes: dict[str, FaultModel] | None = None,
+    mgs_position: str = "first",
+    detector=None,
+    inner_iterations: int = 25,
+    max_outer: int = 100,
+    outer_tol: float = 1e-8,
+    stride: int = 1,
+    locations=None,
+) -> CampaignResult:
+    """Functional convenience wrapper around :class:`FaultCampaign`.
+
+    Equivalent to constructing a campaign with the given options and calling
+    :meth:`FaultCampaign.run`.
+    """
+    campaign = FaultCampaign(
+        problem,
+        inner_iterations=inner_iterations,
+        max_outer=max_outer,
+        outer_tol=outer_tol,
+        fault_classes=fault_classes,
+        mgs_position=mgs_position,
+        detector=detector,
+    )
+    return campaign.run(locations=locations, stride=stride)

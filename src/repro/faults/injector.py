@@ -1,0 +1,197 @@
+"""The fault injector consulted by the solvers at every injection site.
+
+A :class:`FaultInjector` combines
+
+* a :class:`~repro.faults.models.FaultModel` (what the corruption looks like),
+* an :class:`~repro.faults.schedule.InjectionSchedule` (when/where it strikes),
+* optionally a :class:`~repro.faults.sandbox.Sandbox` (corruption only occurs
+  while the sandbox is active — the unreliable phase), and
+* book-keeping: every corruption is recorded so experiments can verify that
+  exactly one SDC event occurred per trial.
+
+The solver-facing protocol is two methods, ``corrupt_scalar`` and
+``corrupt_vector``; both receive the full injection context as keyword
+arguments and return the (possibly corrupted) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.models import FaultModel
+from repro.faults.schedule import InjectionSchedule, Persistence
+from repro.faults.sandbox import Sandbox
+from repro.utils.rng import as_generator
+
+__all__ = ["InjectionRecord", "FaultInjector", "NullInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One executed corruption, kept for post-mortem analysis."""
+
+    site: str
+    original: float
+    corrupted: float
+    outer_iteration: int
+    inner_solve_index: int
+    inner_iteration: int
+    aggregate_inner_iteration: int
+    mgs_index: int
+    vector_index: int = -1
+    context: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Injects faults according to a model and a schedule.
+
+    Parameters
+    ----------
+    model : FaultModel
+        The corruption applied to eligible values.
+    schedule : InjectionSchedule
+        Eligibility predicate.
+    sandbox : Sandbox, optional
+        If given, corruption only happens while the sandbox is active.  The
+        nested FT-GMRES driver attaches its inner-solve sandbox automatically.
+    vector_index : int, optional
+        For vector sites, the element to corrupt (random when omitted).
+    rng : seed or Generator, optional
+        Randomness source for random element selection.
+    enabled : bool
+        Master switch; a disabled injector never corrupts anything.
+    """
+
+    def __init__(self, model: FaultModel, schedule: InjectionSchedule,
+                 sandbox: Sandbox | None = None, vector_index: int | None = None,
+                 rng=None, enabled: bool = True):
+        if not isinstance(model, FaultModel):
+            raise TypeError(f"model must be a FaultModel, got {type(model).__name__}")
+        if not isinstance(schedule, InjectionSchedule):
+            raise TypeError(
+                f"schedule must be an InjectionSchedule, got {type(schedule).__name__}"
+            )
+        self.model = model
+        self.schedule = schedule
+        self.sandbox = sandbox
+        self.vector_index = vector_index
+        self.enabled = bool(enabled)
+        self._rng = as_generator(rng)
+        self.records: list[InjectionRecord] = []
+        self._eligible_calls_seen = 0
+        self._sticky_started = False
+        self._sticky_remaining = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach_sandbox(self, sandbox: Sandbox) -> None:
+        """Attach (or replace) the sandbox gating this injector."""
+        self.sandbox = sandbox
+
+    def reset(self) -> None:
+        """Forget all prior corruptions so the injector can be reused."""
+        self.records.clear()
+        self._eligible_calls_seen = 0
+        self._sticky_started = False
+        self._sticky_remaining = 0
+
+    @property
+    def injections_performed(self) -> int:
+        """Number of corruptions executed so far."""
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # firing logic
+    # ------------------------------------------------------------------ #
+    def _may_fire(self, site: str, context: dict) -> bool:
+        if not self.enabled:
+            return False
+        if self.sandbox is not None and not self.sandbox.active:
+            return False
+        if not self.schedule.matches(site, **context):
+            return False
+        persistence = self.schedule.persistence
+        cap = self.schedule.max_injections
+        if cap is not None and self.injections_performed >= cap:
+            # Sticky faults may still be within their window but the explicit
+            # cap always wins.
+            return False
+        if persistence is Persistence.TRANSIENT:
+            return self.injections_performed < 1
+        if persistence is Persistence.STICKY:
+            if not self._sticky_started:
+                self._sticky_started = True
+                self._sticky_remaining = self.schedule.sticky_count
+            if self._sticky_remaining <= 0:
+                return False
+            return True
+        return True  # PERSISTENT
+
+    def _record(self, site: str, original: float, corrupted: float, context: dict,
+                vector_index: int = -1) -> None:
+        if self.schedule.persistence is Persistence.STICKY and self._sticky_remaining > 0:
+            self._sticky_remaining -= 1
+        self.records.append(
+            InjectionRecord(
+                site=site,
+                original=float(original),
+                corrupted=float(corrupted),
+                outer_iteration=int(context.get("outer_iteration", -1)),
+                inner_solve_index=int(context.get("inner_solve_index", -1)),
+                inner_iteration=int(context.get("inner_iteration", -1)),
+                aggregate_inner_iteration=int(context.get("aggregate_inner_iteration", -1)),
+                mgs_index=int(context.get("mgs_index", -1)),
+                vector_index=vector_index,
+                context=dict(context),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # solver-facing protocol
+    # ------------------------------------------------------------------ #
+    def corrupt_scalar(self, site: str, value: float, **context) -> float:
+        """Return ``value``, corrupted if this call is scheduled to fault."""
+        if not self._may_fire(site, context):
+            return value
+        corrupted = self.model.corrupt(float(value))
+        self._record(site, value, corrupted, context)
+        return corrupted
+
+    def corrupt_vector(self, site: str, vec: np.ndarray, **context) -> np.ndarray:
+        """Return ``vec``, with one element corrupted if scheduled to fault."""
+        if not self._may_fire(site, context):
+            return vec
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.size == 0:
+            return vec
+        index = self.vector_index
+        if index is None:
+            index = int(self._rng.integers(0, vec.size))
+        index = int(np.clip(index, 0, vec.size - 1))
+        out = vec.copy()
+        original = float(out.reshape(-1)[index])
+        out.reshape(-1)[index] = self.model.corrupt(original)
+        self._record(site, original, float(out.reshape(-1)[index]), context, vector_index=index)
+        return out
+
+
+class NullInjector:
+    """An injector that never corrupts anything (failure-free baseline runs)."""
+
+    records: list = []
+    injections_performed = 0
+
+    def attach_sandbox(self, sandbox) -> None:  # pragma: no cover - trivial
+        """Accepted for interface compatibility; has no effect."""
+
+    def corrupt_scalar(self, site: str, value: float, **context) -> float:
+        return value
+
+    def corrupt_vector(self, site: str, vec, **context):
+        return vec
+
+    def reset(self) -> None:  # pragma: no cover - trivial
+        """Nothing to reset."""

@@ -1,0 +1,219 @@
+"""Fault models: what a corrupted value looks like.
+
+The paper deliberately models SDC as an arbitrary numerical error rather than
+a bit flip, and evaluates three representative *multiplicative* corruption
+classes relative to the correct value ``h``:
+
+1. very large            — ``h * 1e+150``  (detectable: exceeds ``||A||_F``),
+2. slightly smaller      — ``h * 10**-0.5`` (undetectable),
+3. very small, near zero — ``h * 1e-300``  (undetectable).
+
+:data:`PAPER_FAULT_CLASSES` exposes exactly these three.  The other models
+(bit flips, overwrites, offsets, zeroing, NaN/Inf) support the wider test
+suite and the detector-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.bitflip import flip_bit, random_bit_flip
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "FaultModel",
+    "ScalingFault",
+    "AbsoluteFault",
+    "AdditiveFault",
+    "ZeroFault",
+    "NaNFault",
+    "InfFault",
+    "BitFlipFault",
+    "PAPER_FAULT_CLASSES",
+]
+
+
+class FaultModel:
+    """Base class for fault models.
+
+    A model is a deterministic (or seeded) transformation of a correct value
+    into a corrupted one.  Models are stateless with respect to the solve;
+    all "when does the fault strike" logic lives in the schedule/injector.
+    """
+
+    name = "fault"
+
+    def corrupt(self, value: float) -> float:
+        """Return the corrupted version of a scalar ``value``."""
+        raise NotImplementedError
+
+    def corrupt_vector(self, vec: np.ndarray, index: int | None = None, rng=None) -> np.ndarray:
+        """Return a copy of ``vec`` with one element corrupted.
+
+        Parameters
+        ----------
+        vec : numpy.ndarray
+            The correct vector.
+        index : int, optional
+            Element to corrupt; a random element is chosen when omitted.
+        rng : seed or Generator, optional
+            Randomness source for the random-element choice.
+        """
+        vec = np.asarray(vec, dtype=np.float64)
+        out = vec.copy()
+        if out.size == 0:
+            return out
+        if index is None:
+            index = int(as_generator(rng).integers(0, out.size))
+        if not 0 <= index < out.size:
+            raise IndexError(f"index {index} outside vector of size {out.size}")
+        flat = out.reshape(-1)
+        flat[index] = self.corrupt(float(flat[index]))
+        return out
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in reports)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ScalingFault(FaultModel):
+    """Multiplicative corruption: ``h -> h * factor`` (the paper's model).
+
+    Parameters
+    ----------
+    factor : float
+        Corruption factor.  The paper's three classes use ``1e+150``,
+        ``10**-0.5`` and ``1e-300``.
+    """
+
+    name = "scaling"
+
+    def __init__(self, factor: float):
+        self.factor = float(factor)
+
+    def corrupt(self, value: float) -> float:
+        with np.errstate(over="ignore", under="ignore", invalid="ignore"):
+            return float(np.float64(value) * np.float64(self.factor))
+
+    def describe(self) -> str:
+        return f"h * {self.factor:g}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScalingFault(factor={self.factor:g})"
+
+
+class AbsoluteFault(FaultModel):
+    """Overwrite corruption: the corrupted value is a fixed constant."""
+
+    name = "absolute"
+
+    def __init__(self, replacement: float):
+        self.replacement = float(replacement)
+
+    def corrupt(self, value: float) -> float:
+        return self.replacement
+
+    def describe(self) -> str:
+        return f"h := {self.replacement:g}"
+
+
+class AdditiveFault(FaultModel):
+    """Offset corruption: ``h -> h + delta``."""
+
+    name = "additive"
+
+    def __init__(self, delta: float):
+        self.delta = float(delta)
+
+    def corrupt(self, value: float) -> float:
+        with np.errstate(over="ignore", invalid="ignore"):
+            return float(np.float64(value) + np.float64(self.delta))
+
+    def describe(self) -> str:
+        return f"h + {self.delta:g}"
+
+
+class ZeroFault(AbsoluteFault):
+    """Replace the value with exactly zero (a total loss of information)."""
+
+    name = "zero"
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def describe(self) -> str:
+        return "h := 0"
+
+
+class NaNFault(AbsoluteFault):
+    """Replace the value with NaN (trivially detectable via IEEE-754)."""
+
+    name = "nan"
+
+    def __init__(self):
+        super().__init__(float("nan"))
+
+    def describe(self) -> str:
+        return "h := NaN"
+
+
+class InfFault(AbsoluteFault):
+    """Replace the value with +Inf (trivially detectable via IEEE-754)."""
+
+    name = "inf"
+
+    def __init__(self):
+        super().__init__(float("inf"))
+
+    def describe(self) -> str:
+        return "h := Inf"
+
+
+class BitFlipFault(FaultModel):
+    """Flip one bit of the IEEE-754 representation.
+
+    Parameters
+    ----------
+    bit : int, optional
+        Bit position (0 = least-significant mantissa bit, 63 = sign).  When
+        omitted, a uniformly random bit is flipped per corruption, drawn from
+        ``rng``.
+    bits : sequence of int, optional
+        Candidate bit positions for the random choice (e.g. only exponent
+        bits).  Ignored when ``bit`` is given.
+    rng : seed or Generator, optional
+        Randomness source for random bit selection.
+    """
+
+    name = "bitflip"
+
+    def __init__(self, bit: int | None = None, bits=None, rng=None):
+        if bit is not None and not 0 <= bit <= 63:
+            raise ValueError(f"bit must be in [0, 63], got {bit}")
+        self.bit = bit
+        self.bits = tuple(bits) if bits is not None else None
+        self._rng = as_generator(rng)
+        self.last_bit: int | None = None
+
+    def corrupt(self, value: float) -> float:
+        if self.bit is not None:
+            self.last_bit = self.bit
+            return flip_bit(value, self.bit)
+        corrupted, bit = random_bit_flip(value, rng=self._rng, bits=self.bits)
+        self.last_bit = bit
+        return corrupted
+
+    def describe(self) -> str:
+        return f"bit flip (bit={'random' if self.bit is None else self.bit})"
+
+
+#: The paper's three corruption classes (Section VII-B-1), keyed by the label
+#: used throughout the experiment harness and EXPERIMENTS.md.
+PAPER_FAULT_CLASSES: dict[str, ScalingFault] = {
+    "large": ScalingFault(1e150),
+    "slightly_smaller": ScalingFault(10.0 ** -0.5),
+    "near_zero": ScalingFault(1e-300),
+}

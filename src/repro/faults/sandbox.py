@@ -1,0 +1,112 @@
+"""The sandbox reliability model (Section IV of the paper).
+
+A :class:`Sandbox` marks a region of execution as *unreliable*: fault
+injectors attached to the sandbox only corrupt data while the sandbox is
+active.  FT-GMRES runs every inner solve inside the sandbox and all outer
+arithmetic outside it, which is exactly the paper's division into unreliable
+guest and reliable host.
+
+The sandbox also implements the model's second promise — the guest returns
+in bounded time — through an optional invocation budget: a runaway guest can
+be cut off by raising ``TimeoutError`` after a configurable number of
+operations (the experiment harness does not need this, but it demonstrates
+the host-side control the model requires).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["Sandbox", "reliable_region"]
+
+
+class Sandbox:
+    """A re-entrant activation scope marking unreliable execution.
+
+    Parameters
+    ----------
+    name : str
+        Label used in reports and event logs.
+    max_operations : int, optional
+        Optional budget of "guest operations" (ticks); exceeding it raises
+        ``TimeoutError`` from :meth:`tick`.  ``None`` disables the budget.
+
+    Examples
+    --------
+    >>> sandbox = Sandbox("inner-solve")
+    >>> sandbox.active
+    False
+    >>> with sandbox:
+    ...     sandbox.active
+    True
+    >>> sandbox.active
+    False
+    """
+
+    def __init__(self, name: str = "sandbox", max_operations: int | None = None):
+        self.name = name
+        self.max_operations = max_operations
+        self._depth = 0
+        self.entries = 0
+        self.operations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> bool:
+        """True while execution is inside the unreliable region."""
+        return self._depth > 0
+
+    def __enter__(self) -> "Sandbox":
+        self._depth += 1
+        self.entries += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._depth = max(self._depth - 1, 0)
+
+    def tick(self, count: int = 1) -> None:
+        """Record ``count`` guest operations and enforce the budget.
+
+        Raises
+        ------
+        TimeoutError
+            If the cumulative operation count exceeds ``max_operations``.
+            The host catches this to implement "stop the guest within a
+            predefined finite time".
+        """
+        if not self.active:
+            return
+        self.operations += int(count)
+        if self.max_operations is not None and self.operations > self.max_operations:
+            raise TimeoutError(
+                f"sandbox {self.name!r} exceeded its operation budget "
+                f"({self.operations} > {self.max_operations})"
+            )
+
+    def reset(self) -> None:
+        """Clear usage counters (the activation depth is left untouched)."""
+        self.entries = 0
+        self.operations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sandbox(name={self.name!r}, active={self.active}, entries={self.entries})"
+
+
+@contextmanager
+def reliable_region(sandbox: Sandbox | None):
+    """Temporarily deactivate a sandbox (execute a reliable sub-step).
+
+    The outer solver of FT-GMRES never needs this (it simply never enters the
+    sandbox), but finer-grained schemes — e.g. an inner solver that computes
+    one quantity reliably — can wrap that computation in
+    ``with reliable_region(sandbox): ...`` so attached injectors stand down.
+    """
+    if sandbox is None or not sandbox.active:
+        yield
+        return
+    depth = sandbox._depth
+    sandbox._depth = 0
+    try:
+        yield
+    finally:
+        sandbox._depth = depth

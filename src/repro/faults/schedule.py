@@ -1,0 +1,136 @@
+"""Injection schedules: when and where a fault strikes.
+
+A schedule is a predicate over the *injection context* — the keyword
+arguments the solvers pass at every injection site (site name, outer
+iteration, inner-solve index, local and aggregate inner iteration, position
+within the Modified Gram–Schmidt loop).  The paper's experiments use the
+narrowest possible schedule: one specific Hessenberg coefficient (first or
+last MGS position) of one specific aggregate inner iteration, corrupted
+exactly once (a transient fault).  Sticky and persistent variants are
+provided for the extension studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Persistence", "InjectionSchedule"]
+
+
+class Persistence(Enum):
+    """How long the underlying "hardware" stays faulty (Section I-B)."""
+
+    TRANSIENT = "transient"    # fires once
+    STICKY = "sticky"          # fires for a bounded number of matching calls
+    PERSISTENT = "persistent"  # fires on every matching call
+
+    @classmethod
+    def coerce(cls, value) -> "Persistence":
+        """Accept an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown persistence {value!r}; expected one of {[p.value for p in cls]}"
+            ) from exc
+
+
+@dataclass
+class InjectionSchedule:
+    """Describes when a fault model should be applied.
+
+    Attributes
+    ----------
+    site : str
+        Injection site name (``"hessenberg"``, ``"subdiag"``, ``"spmv"``,
+        ``"basis"``, ``"precond"``); ``"*"`` matches any site.
+    aggregate_inner_iteration : int or None
+        Fire only when the aggregate inner-iteration counter (the x-axis of
+        Figures 3 and 4: ``inner_solve_index * inner_iterations + local
+        iteration``) equals this value.  ``None`` means "any".
+    outer_iteration : int or None
+        Fire only during this outer iteration (``None`` = any).
+    inner_iteration : int or None
+        Fire only at this *local* inner-iteration index (``None`` = any).
+    mgs_position : {"first", "last", int, None}
+        Position within the orthogonalization loop: ``"first"`` (the paper's
+        Figure 3a/4a), ``"last"`` (Figure 3b/4b), an explicit 0-based index,
+        or ``None`` for any position.
+    persistence : Persistence or str
+        Transient (default, the paper's model), sticky, or persistent.
+    sticky_count : int
+        For sticky faults, how many matching invocations are corrupted
+        (counted from the first firing).
+    max_injections : int or None
+        Hard cap on the number of corruptions regardless of persistence
+        (transient implies 1).  ``None`` means unlimited.
+    """
+
+    site: str = "hessenberg"
+    aggregate_inner_iteration: int | None = None
+    outer_iteration: int | None = None
+    inner_iteration: int | None = None
+    mgs_position: str | int | None = "first"
+    persistence: Persistence | str = Persistence.TRANSIENT
+    sticky_count: int = 3
+    max_injections: int | None = None
+
+    def __post_init__(self) -> None:
+        self.persistence = Persistence.coerce(self.persistence)
+        if isinstance(self.mgs_position, str) and self.mgs_position not in ("first", "last"):
+            raise ValueError(
+                f"mgs_position must be 'first', 'last', an integer, or None, "
+                f"got {self.mgs_position!r}"
+            )
+        if self.sticky_count <= 0:
+            raise ValueError(f"sticky_count must be positive, got {self.sticky_count}")
+        if self.persistence is Persistence.TRANSIENT:
+            self.max_injections = 1 if self.max_injections is None else min(1, self.max_injections)
+
+    # ------------------------------------------------------------------ #
+    def matches_site(self, site: str) -> bool:
+        """True if the schedule targets the given site."""
+        return self.site == "*" or self.site == site
+
+    def matches(self, site: str, *, outer_iteration: int = -1, inner_solve_index: int = -1,
+                inner_iteration: int = -1, aggregate_inner_iteration: int = -1,
+                mgs_index: int = -1, mgs_length: int = 0, **_ignored) -> bool:
+        """True if a call with this context is eligible for corruption.
+
+        The extra ``**_ignored`` keyword sink keeps the schedule forward
+        compatible with additional context the solvers may provide.
+        """
+        if not self.matches_site(site):
+            return False
+        if (self.aggregate_inner_iteration is not None
+                and aggregate_inner_iteration != self.aggregate_inner_iteration):
+            return False
+        if self.outer_iteration is not None and outer_iteration != self.outer_iteration:
+            return False
+        if self.inner_iteration is not None and inner_iteration != self.inner_iteration:
+            return False
+        if self.mgs_position is not None and mgs_index >= 0:
+            if self.mgs_position == "first" and mgs_index != 0:
+                return False
+            if self.mgs_position == "last" and mgs_index != max(mgs_length - 1, 0):
+                return False
+            if isinstance(self.mgs_position, int) and mgs_index != self.mgs_position:
+                return False
+        return True
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        parts = [f"site={self.site}"]
+        if self.aggregate_inner_iteration is not None:
+            parts.append(f"aggregate_iter={self.aggregate_inner_iteration}")
+        if self.outer_iteration is not None:
+            parts.append(f"outer={self.outer_iteration}")
+        if self.inner_iteration is not None:
+            parts.append(f"inner={self.inner_iteration}")
+        if self.mgs_position is not None:
+            parts.append(f"mgs={self.mgs_position}")
+        parts.append(f"persistence={self.persistence.value}")
+        return ", ".join(parts)

@@ -1,0 +1,96 @@
+"""Black-box injection targets: faulty operator and preconditioner wrappers.
+
+The paper surveys prior work that injects bit flips into the *output of
+kernels* such as the sparse matrix–vector product, treating the solver as a
+black box.  These wrappers reproduce that style of study so it can be
+compared against the paper's white-box (Hessenberg-coefficient) injection:
+
+* :class:`FaultyOperator` wraps any linear operator and corrupts the result
+  of ``matvec`` according to a schedule (site ``"spmv"``);
+* :class:`FaultyPreconditioner` wraps a preconditioner and corrupts the
+  result of ``apply`` (site ``"precond"``).
+
+Both keep their own invocation counters so schedules expressed in "aggregate
+inner iteration" terms work even outside a solver (each matvec counts as one
+iteration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.precond.base import Preconditioner
+from repro.sparse.linear_operator import LinearOperator, aslinearoperator
+
+__all__ = ["FaultyOperator", "FaultyPreconditioner"]
+
+
+class FaultyOperator(LinearOperator):
+    """A linear operator whose ``matvec`` output may be silently corrupted.
+
+    Parameters
+    ----------
+    A : matrix or operator
+        The correct operator.
+    injector : FaultInjector
+        Decides when and how the output vector is corrupted.  The schedule's
+        site should be ``"spmv"`` (or ``"*"``).
+    """
+
+    def __init__(self, A, injector: FaultInjector):
+        self._op = aslinearoperator(A)
+        self.shape = self._op.shape
+        self.injector = injector
+        self.calls = 0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        y = self._op.matvec(x)
+        result = self.injector.corrupt_vector(
+            "spmv", y,
+            outer_iteration=-1, inner_solve_index=-1,
+            inner_iteration=self.calls, aggregate_inner_iteration=self.calls,
+            mgs_index=-1, mgs_length=0,
+        )
+        self.calls += 1
+        return result
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Transpose product; faults are only injected into the forward product."""
+        return self._op.rmatvec(x)
+
+
+class FaultyPreconditioner(Preconditioner):
+    """A preconditioner whose ``apply`` output may be silently corrupted.
+
+    Parameters
+    ----------
+    preconditioner : Preconditioner or callable
+        The correct preconditioner.
+    injector : FaultInjector
+        Decides when and how the output is corrupted.  The schedule's site
+        should be ``"precond"`` (or ``"*"``).
+    """
+
+    def __init__(self, preconditioner, injector: FaultInjector):
+        if hasattr(preconditioner, "apply"):
+            self._apply = preconditioner.apply
+            self.shape = getattr(preconditioner, "shape", (0, 0))
+        elif callable(preconditioner):
+            self._apply = preconditioner
+            self.shape = (0, 0)
+        else:
+            raise TypeError("preconditioner must expose apply() or be callable")
+        self.injector = injector
+        self.calls = 0
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        z = np.asarray(self._apply(r), dtype=np.float64)
+        result = self.injector.corrupt_vector(
+            "precond", z,
+            outer_iteration=-1, inner_solve_index=-1,
+            inner_iteration=self.calls, aggregate_inner_iteration=self.calls,
+            mgs_index=-1, mgs_length=0,
+        )
+        self.calls += 1
+        return result

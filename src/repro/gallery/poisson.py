@@ -1,0 +1,113 @@
+"""Finite-difference Poisson matrices (the paper's SPD test problem).
+
+``poisson2d(n)`` reproduces MATLAB's ``gallery('poisson', n)``: the block
+tridiagonal matrix of the 5-point stencil on an ``n x n`` grid with Dirichlet
+boundary conditions, scaled so the diagonal is 4.  The paper uses ``n = 100``
+(10,000 rows, 49,600 nonzeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import require_positive_int
+
+__all__ = ["poisson1d", "poisson2d", "poisson3d"]
+
+
+def poisson1d(n: int) -> CSRMatrix:
+    """1-D Poisson (second-difference) matrix: tridiagonal ``[-1, 2, -1]``.
+
+    Parameters
+    ----------
+    n : int
+        Number of interior grid points (matrix dimension).
+    """
+    n = require_positive_int(n, "n")
+    idx = np.arange(n, dtype=np.int64)
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 2.0)]
+    if n > 1:
+        rows += [idx[:-1], idx[1:]]
+        cols += [idx[1:], idx[:-1]]
+        vals += [np.full(n - 1, -1.0), np.full(n - 1, -1.0)]
+    coo = COOMatrix((n, n), rows=np.concatenate(rows), cols=np.concatenate(cols),
+                    values=np.concatenate(vals))
+    return coo.tocsr()
+
+
+def poisson2d(n: int) -> CSRMatrix:
+    """2-D Poisson 5-point stencil on an ``n x n`` grid (``n^2 x n^2`` matrix).
+
+    Equivalent to MATLAB ``gallery('poisson', n)``: diagonal 4, off-diagonals
+    -1 for the four grid neighbours, natural (row-major) ordering.  The
+    result is symmetric positive definite.
+
+    Parameters
+    ----------
+    n : int
+        Grid points per side; the matrix has ``n**2`` rows.
+    """
+    n = require_positive_int(n, "n")
+    N = n * n
+    i = np.arange(N, dtype=np.int64)
+    ix = i % n       # x position within a grid row
+    iy = i // n      # grid row
+
+    rows = [i]
+    cols = [i]
+    vals = [np.full(N, 4.0)]
+
+    # West neighbour (ix > 0)
+    mask = ix > 0
+    rows.append(i[mask]); cols.append(i[mask] - 1); vals.append(np.full(mask.sum(), -1.0))
+    # East neighbour (ix < n-1)
+    mask = ix < n - 1
+    rows.append(i[mask]); cols.append(i[mask] + 1); vals.append(np.full(mask.sum(), -1.0))
+    # South neighbour (iy > 0)
+    mask = iy > 0
+    rows.append(i[mask]); cols.append(i[mask] - n); vals.append(np.full(mask.sum(), -1.0))
+    # North neighbour (iy < n-1)
+    mask = iy < n - 1
+    rows.append(i[mask]); cols.append(i[mask] + n); vals.append(np.full(mask.sum(), -1.0))
+
+    coo = COOMatrix((N, N), rows=np.concatenate(rows), cols=np.concatenate(cols),
+                    values=np.concatenate(vals))
+    return coo.tocsr()
+
+
+def poisson3d(n: int) -> CSRMatrix:
+    """3-D Poisson 7-point stencil on an ``n x n x n`` grid (``n^3`` rows).
+
+    Diagonal 6, off-diagonals -1 for the six neighbours; SPD.  Used by the
+    wider test suite and scaling benchmarks, not by the paper itself.
+    """
+    n = require_positive_int(n, "n")
+    N = n * n * n
+    i = np.arange(N, dtype=np.int64)
+    ix = i % n
+    iy = (i // n) % n
+    iz = i // (n * n)
+
+    rows = [i]
+    cols = [i]
+    vals = [np.full(N, 6.0)]
+
+    for mask, offset in (
+        (ix > 0, -1),
+        (ix < n - 1, +1),
+        (iy > 0, -n),
+        (iy < n - 1, +n),
+        (iz > 0, -n * n),
+        (iz < n - 1, +n * n),
+    ):
+        rows.append(i[mask])
+        cols.append(i[mask] + offset)
+        vals.append(np.full(int(mask.sum()), -1.0))
+
+    coo = COOMatrix((N, N), rows=np.concatenate(rows), cols=np.concatenate(cols),
+                    values=np.concatenate(vals))
+    return coo.tocsr()

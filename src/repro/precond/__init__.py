@@ -1,0 +1,29 @@
+"""Preconditioners.
+
+In the paper the *inner GMRES solve itself* is the preconditioner of the
+outer FGMRES iteration (an inner–outer scheme).  The classic stationary
+preconditioners collected here serve two purposes in this reproduction:
+
+1. they can precondition the inner GMRES solves (every class below exposes
+   ``apply`` and can be passed to :func:`repro.core.gmres.gmres`), and
+2. they are baselines for the ablation benchmarks (e.g. "how does a Jacobi
+   preconditioned single-level GMRES behave under the same SDC?").
+"""
+
+from repro.precond.base import Preconditioner
+from repro.precond.identity import IdentityPreconditioner
+from repro.precond.jacobi import JacobiPreconditioner, BlockJacobiPreconditioner
+from repro.precond.ssor import GaussSeidelPreconditioner, SSORPreconditioner
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.polynomial import NeumannPolynomialPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+    "GaussSeidelPreconditioner",
+    "SSORPreconditioner",
+    "ILU0Preconditioner",
+    "NeumannPolynomialPreconditioner",
+]

@@ -1,0 +1,39 @@
+"""Preconditioner interface.
+
+A preconditioner approximates the action of ``A^{-1}``: ``apply(r)`` returns
+``M^{-1} r``.  The Krylov solvers treat preconditioners as opaque operators —
+exactly how FGMRES treats its (possibly changing, possibly faulty) inner
+solves — so anything implementing :class:`Preconditioner` can also be used
+directly as the "inner solver" of FT-GMRES.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Preconditioner"]
+
+
+class Preconditioner:
+    """Base class for preconditioners.
+
+    Subclasses must implement :meth:`apply`; ``shape`` is the shape of the
+    operator being preconditioned.
+    """
+
+    shape: tuple[int, int]
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return an approximation to ``A^{-1} r``."""
+        raise NotImplementedError
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)
+
+    @property
+    def n(self) -> int:
+        """Dimension of the vectors the preconditioner acts on."""
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(shape={getattr(self, 'shape', None)})"

@@ -1,0 +1,26 @@
+"""The identity (no-op) preconditioner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import Preconditioner
+
+__all__ = ["IdentityPreconditioner"]
+
+
+class IdentityPreconditioner(Preconditioner):
+    """``M^{-1} = I``: returns a copy of its input.
+
+    Useful as the default for unpreconditioned solves and as the degenerate
+    case in preconditioner tests.
+    """
+
+    def __init__(self, n: int):
+        self.shape = (int(n), int(n))
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64).ravel()
+        if r.shape[0] != self.n:
+            raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
+        return r.copy()

@@ -1,0 +1,117 @@
+"""ILU(0): incomplete LU factorization with zero fill-in.
+
+The factorization keeps exactly the sparsity pattern of ``A`` (the classic
+IKJ variant of Saad, *Iterative Methods for Sparse Linear Systems*, Alg.
+10.4).  It is the strongest of the bundled preconditioners for the
+convection–diffusion and circuit problems and is exercised by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import Preconditioner
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ILU0Preconditioner"]
+
+
+class ILU0Preconditioner(Preconditioner):
+    """Incomplete LU with zero fill on the pattern of ``A``.
+
+    Parameters
+    ----------
+    A : CSRMatrix
+        The matrix to factor.  Rows must contain their diagonal entry; a
+        missing or zero pivot is replaced by a small multiple of the largest
+        row magnitude so factorization always completes (standard shifted
+        ILU practice).
+    """
+
+    def __init__(self, A: CSRMatrix):
+        self.shape = A.shape
+        n = A.shape[0]
+        if A.shape[0] != A.shape[1]:
+            raise ValueError(f"ILU(0) requires a square matrix, got {A.shape}")
+        # Work on a copy of the CSR data; the pattern never changes.
+        self.indptr = A.indptr.copy()
+        self.indices = A.indices.copy()
+        self.data = A.data.copy()
+        self._diag_ptr = np.full(n, -1, dtype=np.int64)
+        self._factorize(n)
+
+    def _factorize(self, n: int) -> None:
+        indptr, indices, data = self.indptr, self.indices, self.data
+        # Locate diagonal entries; insert surrogate pivots where missing.
+        for i in range(n):
+            start, stop = indptr[i], indptr[i + 1]
+            row_cols = indices[start:stop]
+            hits = np.flatnonzero(row_cols == i)
+            if hits.size:
+                self._diag_ptr[i] = start + hits[0]
+        # column -> position lookup reused per row
+        colpos = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            start, stop = indptr[i], indptr[i + 1]
+            row_cols = indices[start:stop]
+            colpos[row_cols] = np.arange(start, stop)
+            row_max = np.abs(data[start:stop]).max() if stop > start else 1.0
+            for kpos in range(start, stop):
+                k = indices[kpos]
+                if k >= i:
+                    break
+                dk_ptr = self._diag_ptr[k]
+                pivot = data[dk_ptr] if dk_ptr >= 0 else 0.0
+                if pivot == 0.0:
+                    pivot = 1e-12 * max(row_max, 1.0)
+                factor = data[kpos] / pivot
+                data[kpos] = factor
+                # Row update restricted to the existing pattern of row i.
+                kstart, kstop = indptr[k], indptr[k + 1]
+                for jpos in range(kstart, kstop):
+                    j = indices[jpos]
+                    if j <= k:
+                        continue
+                    target = colpos[j]
+                    if target >= 0:
+                        data[target] -= factor * data[jpos]
+            dptr = self._diag_ptr[i]
+            if dptr < 0 or data[dptr] == 0.0:
+                # Missing/zero pivot: shift.  We cannot add a new entry to the
+                # pattern, so if the diagonal is absent the row is treated as
+                # having unit pivot in the solve below.
+                if dptr >= 0:
+                    data[dptr] = 1e-12 * max(row_max, 1.0)
+            colpos[row_cols] = -1
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Solve ``L U z = r`` with the incomplete factors."""
+        r = np.asarray(r, dtype=np.float64).ravel()
+        if r.shape[0] != self.n:
+            raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
+        n = self.n
+        indptr, indices, data = self.indptr, self.indices, self.data
+
+        # Forward solve with unit lower triangle.
+        y = np.zeros_like(r)
+        for i in range(n):
+            start, stop = indptr[i], indptr[i + 1]
+            cols = indices[start:stop]
+            vals = data[start:stop]
+            mask = cols < i
+            acc = float(np.dot(vals[mask], y[cols[mask]])) if mask.any() else 0.0
+            y[i] = r[i] - acc
+
+        # Backward solve with the upper triangle (including the pivot).
+        z = np.zeros_like(r)
+        for i in range(n - 1, -1, -1):
+            start, stop = indptr[i], indptr[i + 1]
+            cols = indices[start:stop]
+            vals = data[start:stop]
+            mask = cols > i
+            acc = float(np.dot(vals[mask], z[cols[mask]])) if mask.any() else 0.0
+            dptr = self._diag_ptr[i]
+            pivot = data[dptr] if dptr >= 0 and data[dptr] != 0.0 else 1.0
+            z[i] = (y[i] - acc) / pivot
+        return z

@@ -1,0 +1,49 @@
+"""Sparse-matrix substrate.
+
+The paper's experiments run on Trilinos/Tpetra sparse operators.  This
+subpackage rebuilds the pieces the algorithms actually need, from scratch:
+
+* :class:`~repro.sparse.coo.COOMatrix` — coordinate-format builder.
+* :class:`~repro.sparse.csr.CSRMatrix` — compressed-sparse-row storage with a
+  vectorized sparse matrix–vector product (the dominant kernel of GMRES).
+* :class:`~repro.sparse.linear_operator.LinearOperator` — the abstraction the
+  Krylov solvers are written against, so dense arrays, our CSR matrices,
+  ``scipy.sparse`` matrices, and matrix-free callables are all accepted.
+* Norm computations (:mod:`repro.sparse.norms`) used by the SDC detector
+  bound ``|h_ij| <= ||A||_2 <= ||A||_F``.
+* Matrix-Market I/O (:mod:`repro.sparse.mmio`) so external matrices (e.g. the
+  real ``mult_dcop_03``) can be dropped in when available.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.linear_operator import LinearOperator, aslinearoperator, MatrixFreeOperator
+from repro.sparse.norms import (
+    frobenius_norm,
+    one_norm,
+    inf_norm,
+    two_norm_estimate,
+    hessenberg_bound,
+)
+from repro.sparse.ops import spmv, spmv_transpose, sparse_add, sparse_scale, extract_diagonal
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "LinearOperator",
+    "MatrixFreeOperator",
+    "aslinearoperator",
+    "frobenius_norm",
+    "one_norm",
+    "inf_norm",
+    "two_norm_estimate",
+    "hessenberg_bound",
+    "spmv",
+    "spmv_transpose",
+    "sparse_add",
+    "sparse_scale",
+    "extract_diagonal",
+    "read_matrix_market",
+    "write_matrix_market",
+]

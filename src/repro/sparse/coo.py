@@ -1,0 +1,119 @@
+"""Coordinate (COO) sparse-matrix format.
+
+COO is the construction format: matrix generators in :mod:`repro.gallery`
+append ``(row, col, value)`` triplets and then convert to CSR once for the
+solve.  Duplicate entries are summed on conversion, matching the convention
+of every mainstream sparse library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    shape : tuple of int
+        ``(nrows, ncols)``.
+    rows, cols, values : array_like, optional
+        Parallel triplet arrays.  They may contain duplicate ``(row, col)``
+        pairs; duplicates are summed when converting to CSR or dense.
+
+    Notes
+    -----
+    The class is a *builder*: it supports cheap appends and conversion, but
+    no arithmetic.  Use :meth:`tocsr` for anything numerical.
+    """
+
+    def __init__(self, shape, rows=None, cols=None, values=None):
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows < 0 or ncols < 0:
+            raise ValueError(f"shape must be non-negative, got {shape}")
+        self.shape = (nrows, ncols)
+        self.rows = np.asarray(rows if rows is not None else [], dtype=np.int64).ravel()
+        self.cols = np.asarray(cols if cols is not None else [], dtype=np.int64).ravel()
+        self.values = np.asarray(values if values is not None else [], dtype=np.float64).ravel()
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise ValueError(
+                "rows, cols and values must have the same length: "
+                f"{self.rows.shape[0]}, {self.cols.shape[0]}, {self.values.shape[0]}"
+            )
+        self._check_indices()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _check_indices(self) -> None:
+        if self.rows.size == 0:
+            return
+        if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+            raise IndexError("row index out of bounds")
+        if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+            raise IndexError("column index out of bounds")
+
+    def append(self, row: int, col: int, value: float) -> None:
+        """Append a single triplet (slow path, used in examples and tests)."""
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            raise IndexError(f"entry ({row}, {col}) outside shape {self.shape}")
+        self.rows = np.append(self.rows, np.int64(row))
+        self.cols = np.append(self.cols, np.int64(col))
+        self.values = np.append(self.values, np.float64(value))
+
+    def extend(self, rows, cols, values) -> None:
+        """Append many triplets at once (vectorized builder path)."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols and values must have the same length")
+        self.rows = np.concatenate([self.rows, rows])
+        self.cols = np.concatenate([self.cols, cols])
+        self.values = np.concatenate([self.values, values])
+        self._check_indices()
+
+    # ------------------------------------------------------------------ #
+    # queries / conversion
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (duplicates counted separately)."""
+        return int(self.values.shape[0])
+
+    def todense(self) -> np.ndarray:
+        """Return a dense ``(nrows, ncols)`` array, summing duplicates."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def tocsr(self):
+        """Convert to :class:`repro.sparse.csr.CSRMatrix`, summing duplicates."""
+        from repro.sparse.csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose as a new COO matrix (swap rows and columns)."""
+        return COOMatrix(
+            (self.shape[1], self.shape[0]),
+            rows=self.cols.copy(),
+            cols=self.rows.copy(),
+            values=self.values.copy(),
+        )
+
+    @classmethod
+    def from_dense(cls, dense, tol: float = 0.0) -> "COOMatrix":
+        """Build a COO matrix from a dense array, dropping entries ``<= tol`` in magnitude."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"dense input must be 2-D, got shape {dense.shape}")
+        mask = np.abs(dense) > tol
+        rows, cols = np.nonzero(mask)
+        return cls(dense.shape, rows=rows, cols=cols, values=dense[rows, cols])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,102 @@
+"""Minimal Matrix-Market (``.mtx``) reader and writer.
+
+The paper's nonsymmetric test problem, ``mult_dcop_03``, is distributed by
+the SuiteSparse/UF collection in Matrix-Market format.  This module lets a
+user who *does* have the file drop it straight into the experiment harness
+(``repro.experiments`` accepts a path), while the default configuration uses
+the synthetic surrogate from :mod:`repro.gallery.circuit`.
+
+Only the ``matrix coordinate real/integer/pattern`` and ``matrix array real``
+flavours are supported, with ``general``, ``symmetric`` and ``skew-symmetric``
+storage — enough for the SuiteSparse matrices relevant here.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open_text(path: Path, mode: str = "rt"):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a Matrix-Market file and return a :class:`CSRMatrix`.
+
+    Supports plain and gzip-compressed files, coordinate and array formats,
+    real/integer/pattern fields, and general/symmetric/skew-symmetric
+    symmetry.  Pattern matrices get value 1.0 for every stored entry.
+    """
+    path = Path(path)
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path} is not a Matrix-Market file (bad banner)")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise ValueError(f"malformed Matrix-Market banner: {header!r}")
+        _, obj, fmt, field, symmetry = tokens[:5]
+        obj, fmt, field, symmetry = obj.lower(), fmt.lower(), field.lower(), symmetry.lower()
+        if obj != "matrix":
+            raise ValueError(f"unsupported Matrix-Market object {obj!r}")
+        if field == "complex":
+            raise ValueError("complex matrices are not supported")
+
+        # Skip comments.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        size_tokens = line.split()
+
+        if fmt == "coordinate":
+            nrows, ncols, nnz = (int(t) for t in size_tokens[:3])
+            rows = np.empty(nnz, dtype=np.int64)
+            cols = np.empty(nnz, dtype=np.int64)
+            vals = np.empty(nnz, dtype=np.float64)
+            for k in range(nnz):
+                parts = fh.readline().split()
+                rows[k] = int(parts[0]) - 1
+                cols[k] = int(parts[1]) - 1
+                vals[k] = 1.0 if field == "pattern" else float(parts[2])
+            coo = COOMatrix((nrows, ncols), rows=rows, cols=cols, values=vals)
+            if symmetry in ("symmetric", "skew-symmetric"):
+                off_diag = rows != cols
+                sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+                coo.extend(cols[off_diag], rows[off_diag], sign * vals[off_diag])
+            return coo.tocsr()
+
+        if fmt == "array":
+            nrows, ncols = (int(t) for t in size_tokens[:2])
+            values = np.array([float(fh.readline()) for _ in range(nrows * ncols)],
+                              dtype=np.float64)
+            dense = values.reshape((ncols, nrows)).T  # column-major storage
+            if symmetry == "symmetric":
+                dense = np.tril(dense) + np.tril(dense, -1).T
+            elif symmetry == "skew-symmetric":
+                dense = np.tril(dense) - np.tril(dense, -1).T
+            return CSRMatrix.from_dense(dense)
+
+        raise ValueError(f"unsupported Matrix-Market format {fmt!r}")
+
+
+def write_matrix_market(path, A: CSRMatrix, comment: str = "") -> None:
+    """Write a :class:`CSRMatrix` to ``path`` in coordinate/real/general form."""
+    path = Path(path)
+    coo = A.tocoo()
+    with _open_text(path, "wt") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{A.shape[0]} {A.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.values):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {v:.17g}\n")

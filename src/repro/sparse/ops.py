@@ -1,0 +1,40 @@
+"""Free-function sparse kernels.
+
+Thin functional wrappers over :class:`~repro.sparse.csr.CSRMatrix` methods,
+provided so experiment scripts and the fault-injection targets can refer to
+the kernels by name (the paper's discussion is organized around kernels:
+sparse matrix–vector multiply, orthogonalization, norms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["spmv", "spmv_transpose", "sparse_add", "sparse_scale", "extract_diagonal"]
+
+
+def spmv(A: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix–vector product ``A @ x``."""
+    return A.matvec(x)
+
+
+def spmv_transpose(A: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Transpose sparse matrix–vector product ``A.T @ x``."""
+    return A.rmatvec(x)
+
+
+def sparse_add(A: CSRMatrix, B: CSRMatrix) -> CSRMatrix:
+    """Matrix sum ``A + B``."""
+    return A.add(B)
+
+
+def sparse_scale(A: CSRMatrix, alpha: float) -> CSRMatrix:
+    """Scalar multiple ``alpha * A``."""
+    return A.scale(alpha)
+
+
+def extract_diagonal(A: CSRMatrix) -> np.ndarray:
+    """Main diagonal of ``A`` as a dense vector."""
+    return A.diagonal()

@@ -1,0 +1,29 @@
+"""Shared utilities: validation, RNG handling, timing, and event logging.
+
+These helpers are deliberately dependency-free (NumPy only) so that every
+other subpackage can use them without circular imports.
+"""
+
+from repro.utils.validation import (
+    as_dense_vector,
+    check_square,
+    check_matching_shapes,
+    require_positive_int,
+    require_nonnegative,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.events import EventLog, SolverEvent
+
+__all__ = [
+    "as_dense_vector",
+    "check_square",
+    "check_matching_shapes",
+    "require_positive_int",
+    "require_nonnegative",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "EventLog",
+    "SolverEvent",
+]

@@ -1,0 +1,91 @@
+"""Structured solver event logging.
+
+Solvers and the fault-injection machinery emit :class:`SolverEvent` records
+into an :class:`EventLog`.  Experiments use the log to answer questions such
+as "was the injected fault detected?", "in which outer iteration did the
+detector fire?", or "how many entries did the filter reject?" without parsing
+text output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["SolverEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class SolverEvent:
+    """A single structured event emitted by a solver or injector.
+
+    Attributes
+    ----------
+    kind : str
+        Event category, e.g. ``"fault_injected"``, ``"fault_detected"``,
+        ``"filter_rejected"``, ``"happy_breakdown"``, ``"rank_deficient"``,
+        ``"inner_solve_start"``, ``"converged"``.
+    where : str
+        The code site that emitted the event (e.g. ``"hessenberg"``).
+    outer_iteration : int
+        Outer (FGMRES) iteration index, or -1 when not applicable.
+    inner_iteration : int
+        Inner (GMRES/Arnoldi) iteration index, or -1 when not applicable.
+    data : dict
+        Free-form payload (original value, corrupted value, bound, ...).
+    """
+
+    kind: str
+    where: str = ""
+    outer_iteration: int = -1
+    inner_iteration: int = -1
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """An append-only list of :class:`SolverEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[SolverEvent] = []
+
+    def record(self, kind: str, where: str = "", outer_iteration: int = -1,
+               inner_iteration: int = -1, **data: Any) -> SolverEvent:
+        """Create, store, and return an event."""
+        event = SolverEvent(
+            kind=kind,
+            where=where,
+            outer_iteration=outer_iteration,
+            inner_iteration=inner_iteration,
+            data=dict(data),
+        )
+        self._events.append(event)
+        return event
+
+    def extend(self, other: "EventLog") -> None:
+        """Append all events from another log (used to merge inner-solve logs)."""
+        self._events.extend(other._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SolverEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx):
+        return self._events[idx]
+
+    def of_kind(self, kind: str) -> list[SolverEvent]:
+        """All events whose ``kind`` matches exactly."""
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def has(self, kind: str) -> bool:
+        """True if at least one event of the given kind was recorded."""
+        return any(e.kind == kind for e in self._events)
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._events.clear()

@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (matrix gallery, fault campaigns,
+bit-flip models) accepts either an integer seed, an existing
+``numpy.random.Generator``, or ``None``.  These helpers normalize that input
+so experiment scripts are reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed_or_rng=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or ``None``.
+
+    Passing an existing generator returns it unchanged (so callers can share
+    a stream); passing ``None`` creates a freshly seeded generator.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_generators(seed_or_rng, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used by fault campaigns to give each trial its own stream so trials can
+    be reordered or run in parallel without changing results.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(seed_or_rng)
+    seeds = root.spawn(count) if hasattr(root, "spawn") else None
+    if seeds is not None:
+        return list(seeds)
+    # Fallback for very old NumPy: derive child seeds from the root stream.
+    return [np.random.default_rng(int(root.integers(0, 2**63 - 1))) for _ in range(count)]

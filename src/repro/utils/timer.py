@@ -1,0 +1,56 @@
+"""A tiny wall-clock timer used by the experiment harness.
+
+The paper reports time-to-solution in iterations rather than seconds, but the
+harness still records wall time per solve so the benchmark output can show
+both.  ``Timer`` is a context manager and an accumulator.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    >>> t.calls
+    1
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.calls: int = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed += time.perf_counter() - self._start
+            self.calls += 1
+            self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per timed region (0.0 if never used)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer(elapsed={self.elapsed:.6f}s, calls={self.calls})"

@@ -1,0 +1,154 @@
+"""Unit and integration tests for Flexible GMRES."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fgmres import FGMRESParameters, fgmres
+from repro.core.gmres import gmres
+from repro.core.status import SolverStatus
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.ilu import ILU0Preconditioner
+
+
+class TestBasicBehaviour:
+    def test_identity_inner_solver_matches_gmres(self, poisson_medium, rng):
+        """With the identity 'preconditioner', FGMRES is plain (full) GMRES."""
+        b = rng.standard_normal(poisson_medium.shape[0])
+        flexible = fgmres(poisson_medium, b, inner_solver=None, tol=1e-10, max_outer=300)
+        plain = gmres(poisson_medium, b, tol=1e-10, maxiter=300)
+        assert flexible.converged
+        assert abs(flexible.iterations - plain.iterations) <= 1
+        np.testing.assert_allclose(flexible.x, plain.x, rtol=1e-6, atol=1e-8)
+
+    def test_fixed_preconditioner_inner_solver(self, diag_dom_small, rng):
+        b = rng.standard_normal(diag_dom_small.shape[0])
+        jac = JacobiPreconditioner(diag_dom_small)
+        result = fgmres(diag_dom_small, b, inner_solver=lambda q, j: jac.apply(q),
+                        tol=1e-10, max_outer=100)
+        assert result.converged
+        np.testing.assert_allclose(diag_dom_small.matvec(result.x), b, rtol=1e-7, atol=1e-8)
+
+    def test_changing_preconditioner(self, poisson_medium, rng):
+        """The preconditioner may change every iteration (the 'flexible' part)."""
+        b = rng.standard_normal(poisson_medium.shape[0])
+        jac = JacobiPreconditioner(poisson_medium)
+        ilu = ILU0Preconditioner(poisson_medium)
+
+        def alternating(q, j):
+            return jac.apply(q) if j % 2 == 0 else ilu.apply(q)
+
+        result = fgmres(poisson_medium, b, inner_solver=alternating, tol=1e-9, max_outer=200)
+        assert result.converged
+
+    def test_gmres_inner_solver(self, poisson_medium, rng):
+        """An inner GMRES solve as the preconditioner (the FT-GMRES structure)."""
+        b = rng.standard_normal(poisson_medium.shape[0])
+
+        def inner(q, j):
+            return gmres(poisson_medium, q, tol=0.0, maxiter=10, restart=10).x
+
+        result = fgmres(poisson_medium, b, inner_solver=inner, tol=1e-9, max_outer=50)
+        assert result.converged
+        # The nested iteration should use far fewer outer iterations than
+        # unpreconditioned GMRES needs total iterations.
+        assert result.iterations < 40
+
+    def test_zero_rhs(self, poisson_small):
+        result = fgmres(poisson_small, np.zeros(poisson_small.shape[0]), tol=1e-10)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_nonfinite_inner_result_sanitized(self, poisson_small, rng):
+        b = rng.standard_normal(poisson_small.shape[0])
+
+        def broken(q, j):
+            z = q.copy()
+            if j == 1:
+                z[0] = np.nan
+            return z
+
+        result = fgmres(poisson_small, b, inner_solver=broken, tol=1e-8, max_outer=80)
+        assert result.events.count("inner_result_nonfinite") == 1
+        assert result.converged
+
+    def test_inner_callback_invoked(self, poisson_small, rng):
+        b = rng.standard_normal(poisson_small.shape[0])
+        seen = []
+        fgmres(poisson_small, b, inner_solver=None, tol=1e-10, max_outer=20,
+               inner_callback=lambda j, q, z: seen.append(j))
+        assert seen == list(range(len(seen)))
+        assert len(seen) >= 1
+
+    def test_wrong_inner_length_rejected(self, poisson_small, rng):
+        b = rng.standard_normal(poisson_small.shape[0])
+        with pytest.raises(ValueError, match="length"):
+            fgmres(poisson_small, b, inner_solver=lambda q, j: q[:3], max_outer=5)
+
+    def test_invalid_max_outer(self, poisson_small):
+        with pytest.raises(ValueError):
+            fgmres(poisson_small, np.ones(poisson_small.shape[0]), max_outer=0)
+
+    def test_invalid_orthogonalization(self, poisson_small):
+        with pytest.raises(ValueError):
+            fgmres(poisson_small, np.ones(poisson_small.shape[0]),
+                   orthogonalization="qr")
+
+
+class TestTrichotomy:
+    def test_converged_branch(self, poisson_medium, rng):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        result = fgmres(poisson_medium, b, tol=1e-8, max_outer=300)
+        assert result.status is SolverStatus.CONVERGED
+
+    def test_happy_breakdown_branch(self):
+        """Exact-solution inner solves give a happy breakdown on iteration 1."""
+        A = np.diag([2.0, 5.0, 9.0])
+        b = np.array([2.0, 5.0, 9.0])
+        inv = np.diag(1.0 / np.diag(A))
+
+        result = fgmres(A, b, inner_solver=lambda q, j: inv @ q, tol=1e-12, max_outer=3)
+        assert result.status in (SolverStatus.HAPPY_BREAKDOWN, SolverStatus.CONVERGED)
+        np.testing.assert_allclose(result.x, np.ones(3), rtol=1e-10)
+
+    def test_rank_deficient_branch_reported_loudly(self):
+        """Saad's Prop 2.2 case: zero inner solve makes H singular -> loud failure.
+
+        The inner solver returns the zero vector, so A z_j = 0, every
+        Hessenberg entry is zero, and h_{j+1,j} = 0 with a singular H block.
+        FGMRES must report RANK_DEFICIENT instead of silently returning a
+        wrong answer.
+        """
+        A = np.diag([1.0, 2.0, 3.0])
+        b = np.array([1.0, 1.0, 1.0])
+        result = fgmres(A, b, inner_solver=lambda q, j: np.zeros_like(q), max_outer=3)
+        assert result.status is SolverStatus.RANK_DEFICIENT
+        assert result.status.is_loud_failure
+        assert result.events.has("rank_deficient")
+
+    def test_max_iterations_branch(self, poisson_medium, rng):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        result = fgmres(poisson_medium, b, tol=1e-14, max_outer=3)
+        assert result.status is SolverStatus.MAX_ITERATIONS
+        assert not result.status.is_loud_failure
+
+
+class TestParameters:
+    def test_replace(self):
+        params = FGMRESParameters(tol=1e-4, max_outer=10)
+        new = params.replace(max_outer=77)
+        assert new.max_outer == 77 and new.tol == 1e-4
+        assert params.max_outer == 10
+
+    @pytest.mark.parametrize("policy", ["standard", "hybrid", "rank_revealing"])
+    def test_lsq_policies(self, poisson_medium, rng, policy):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        result = fgmres(poisson_medium, b, tol=1e-8, max_outer=300, lsq_policy=policy)
+        assert result.converged
+
+    @pytest.mark.parametrize("orth", ["mgs", "cgs", "cgs2"])
+    def test_orthogonalization_variants(self, poisson_medium, rng, orth):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        result = fgmres(poisson_medium, b, tol=1e-8, max_outer=300, orthogonalization=orth)
+        assert result.converged

@@ -1,0 +1,157 @@
+"""Unit tests for the projected least-squares policies (Section VI-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.least_squares import (
+    LeastSquaresPolicy,
+    solve_projected_lsq,
+    solve_rank_revealing,
+    solve_triangular,
+)
+
+
+class TestPolicyCoercion:
+    def test_from_string(self):
+        assert LeastSquaresPolicy.coerce("standard") is LeastSquaresPolicy.STANDARD
+        assert LeastSquaresPolicy.coerce("HYBRID") is LeastSquaresPolicy.HYBRID
+        assert LeastSquaresPolicy.coerce("rank_revealing") is LeastSquaresPolicy.RANK_REVEALING
+
+    def test_passthrough(self):
+        assert LeastSquaresPolicy.coerce(LeastSquaresPolicy.HYBRID) is LeastSquaresPolicy.HYBRID
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            LeastSquaresPolicy.coerce("pivoted_qr")
+
+
+class TestTriangularSolve:
+    def test_matches_numpy(self, rng):
+        R = np.triu(rng.standard_normal((6, 6))) + 6.0 * np.eye(6)
+        rhs = rng.standard_normal(6)
+        np.testing.assert_allclose(solve_triangular(R, rhs), np.linalg.solve(R, rhs), rtol=1e-12)
+
+    def test_singular_produces_nonfinite(self):
+        R = np.array([[1.0, 2.0], [0.0, 0.0]])
+        y = solve_triangular(R, np.array([1.0, 1.0]))
+        assert not np.all(np.isfinite(y))
+
+    def test_inconsistent_shapes(self):
+        with pytest.raises(ValueError):
+            solve_triangular(np.eye(3), np.ones(2))
+
+
+class TestRankRevealing:
+    def test_full_rank_matches_lstsq(self, rng):
+        M = rng.standard_normal((7, 5))
+        rhs = rng.standard_normal(7)
+        y, rank = solve_rank_revealing(M, rhs)
+        expected, *_ = np.linalg.lstsq(M, rhs, rcond=None)
+        assert rank == 5
+        np.testing.assert_allclose(y, expected, rtol=1e-10)
+
+    def test_rank_deficient_minimum_norm(self):
+        # Columns 0 and 1 identical: infinitely many solutions; the truncated
+        # SVD must return the minimum-norm one.
+        M = np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        rhs = np.array([2.0, 2.0, 0.0])
+        y, rank = solve_rank_revealing(M, rhs, tol=1e-12)
+        assert rank == 1
+        np.testing.assert_allclose(y, [1.0, 1.0], rtol=1e-12)
+        # Any solution satisfies M y = rhs; minimum norm is [1, 1].
+        np.testing.assert_allclose(M @ y, rhs, rtol=1e-12)
+
+    def test_nonfinite_input_sanitized(self):
+        M = np.array([[np.inf, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        rhs = np.array([1.0, 1.0, np.nan])
+        y, rank = solve_rank_revealing(M, rhs)
+        assert np.all(np.isfinite(y))
+
+    def test_zero_matrix(self):
+        y, rank = solve_rank_revealing(np.zeros((3, 2)), np.ones(3))
+        assert rank == 0
+        np.testing.assert_array_equal(y, np.zeros(2))
+
+    def test_empty_system(self):
+        y, rank = solve_rank_revealing(np.zeros((1, 0)), np.ones(1))
+        assert rank == 0
+        assert y.shape == (0,)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_rank_revealing(np.ones((3, 2)), np.ones(2))
+
+    def test_truncation_bounds_solution(self):
+        # A nearly singular triangular factor: the standard solve blows up,
+        # the truncated solve stays bounded by sigma_max / smallest kept sv.
+        R = np.array([[1.0, 1.0], [0.0, 1e-300]])
+        rhs = np.array([1.0, 1.0])
+        y_std = solve_triangular(R, rhs)
+        assert np.abs(y_std[np.isfinite(y_std)]).max() > 1e100 or not np.all(np.isfinite(y_std))
+        y_rr, rank = solve_rank_revealing(R, rhs, tol=1e-12)
+        assert rank == 1
+        assert np.abs(y_rr).max() < 10.0
+
+
+class TestProjectedPolicyDispatch:
+    def _well_conditioned(self, rng, k=5):
+        R = np.triu(rng.standard_normal((k, k))) + k * np.eye(k)
+        g = rng.standard_normal(k + 1)
+        return R, g
+
+    def test_standard(self, rng):
+        R, g = self._well_conditioned(rng)
+        y, info = solve_projected_lsq(R, g, policy="standard")
+        np.testing.assert_allclose(y, np.linalg.solve(R, g[:5]), rtol=1e-12)
+        assert info["policy"] == "standard"
+        assert info["finite"]
+        assert not info["fallback"]
+
+    def test_standard_reports_nonfinite(self):
+        R = np.array([[1.0, 0.0], [0.0, 0.0]])
+        g = np.array([1.0, 1.0, 0.0])
+        y, info = solve_projected_lsq(R, g, policy="standard")
+        assert not info["finite"]
+
+    def test_hybrid_no_fallback_when_finite(self, rng):
+        R, g = self._well_conditioned(rng)
+        y_std, _ = solve_projected_lsq(R, g, policy="standard")
+        y_hyb, info = solve_projected_lsq(R, g, policy="hybrid")
+        np.testing.assert_allclose(y_hyb, y_std)
+        assert not info["fallback"]
+
+    def test_hybrid_falls_back_on_singular(self):
+        R = np.array([[1.0, 1.0], [0.0, 0.0]])
+        g = np.array([1.0, 1.0, 0.0])
+        y, info = solve_projected_lsq(R, g, policy="hybrid")
+        assert info["fallback"]
+        assert np.all(np.isfinite(y))
+
+    def test_rank_revealing_on_triangular_factor(self, rng):
+        R, g = self._well_conditioned(rng)
+        y_rr, info = solve_projected_lsq(R, g, policy="rank_revealing")
+        np.testing.assert_allclose(y_rr, np.linalg.solve(R, g[:5]), rtol=1e-10)
+        assert info["rank"] == 5
+
+    def test_rank_revealing_with_full_hessenberg(self, rng):
+        # Solving with H and beta e1 must agree with solving R y = g.
+        from repro.core.hessenberg import HessenbergMatrix
+
+        k = 6
+        beta = 3.0
+        hess = HessenbergMatrix(k, beta=beta)
+        for j in range(k):
+            col = rng.standard_normal(j + 2)
+            col[j + 1] = abs(col[j + 1]) + 0.5
+            hess.add_column(col)
+        y_r, _ = solve_projected_lsq(hess.R, hess.g, policy="rank_revealing")
+        y_h, _ = solve_projected_lsq(hess.R, hess.g, policy="rank_revealing",
+                                     H=hess.H, beta=beta)
+        np.testing.assert_allclose(y_h, y_r, rtol=1e-8, atol=1e-10)
+
+    def test_hessenberg_without_beta_rejected(self, rng):
+        R, g = self._well_conditioned(rng)
+        with pytest.raises(ValueError, match="beta"):
+            solve_projected_lsq(R, g, policy="rank_revealing", H=np.ones((6, 5)))

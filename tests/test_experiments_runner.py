@@ -1,0 +1,55 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiments == ["table1"]
+        assert args.scale == "small"
+        assert args.stride == 5
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["table1", "fig2", "--scale", "tiny"])
+        assert args.experiments == ["table1", "fig2"]
+        assert args.scale == "tiny"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_table1_and_fig2(self, capsys):
+        code = main(["table1", "fig2", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table I" in out
+        assert "number of rows" in out
+        assert "Figure 2" in out
+        assert "tridiagonal=True" in out
+
+    def test_summary_tiny(self, capsys):
+        code = main(["summary", "--scale", "tiny", "--stride", "20",
+                     "--inner-iterations", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Section VII-E summary" in out
+        assert "worst-case increase" in out
+
+    def test_fig3_tiny(self, capsys):
+        code = main(["fig3", "--scale", "tiny", "--stride", "15",
+                     "--inner-iterations", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+        assert "fault class: large" in out

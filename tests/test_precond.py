@@ -1,0 +1,185 @@
+"""Unit tests for the preconditioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gmres import gmres
+from repro.precond.identity import IdentityPreconditioner
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.jacobi import BlockJacobiPreconditioner, JacobiPreconditioner
+from repro.precond.polynomial import NeumannPolynomialPreconditioner
+from repro.precond.ssor import GaussSeidelPreconditioner, SSORPreconditioner
+from repro.sparse.csr import CSRMatrix
+
+
+class TestIdentity:
+    def test_returns_copy(self, rng):
+        m = IdentityPreconditioner(8)
+        r = rng.standard_normal(8)
+        z = m.apply(r)
+        np.testing.assert_array_equal(z, r)
+        z[0] = 99.0
+        assert r[0] != 99.0
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            IdentityPreconditioner(4).apply(np.ones(5))
+
+    def test_callable(self):
+        m = IdentityPreconditioner(3)
+        np.testing.assert_array_equal(m(np.arange(3.0)), np.arange(3.0))
+
+
+class TestJacobi:
+    def test_exact_for_diagonal_matrix(self):
+        diag = np.array([2.0, 4.0, -8.0])
+        A = CSRMatrix.from_dense(np.diag(diag))
+        m = JacobiPreconditioner(A)
+        r = np.array([2.0, 4.0, 8.0])
+        np.testing.assert_allclose(m.apply(r), r / diag)
+
+    def test_zero_diagonal_handled(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        m = JacobiPreconditioner(A)
+        z = m.apply(np.array([3.0, 4.0]))
+        assert z[0] == 3.0  # unscaled where the diagonal vanishes
+        assert z[1] == 2.0
+
+    def test_length_validated(self, poisson_small):
+        m = JacobiPreconditioner(poisson_small)
+        with pytest.raises(ValueError):
+            m.apply(np.ones(poisson_small.shape[0] + 1))
+
+    def test_accelerates_gmres(self, diag_dom_small, rng):
+        b = rng.standard_normal(diag_dom_small.shape[0])
+        plain = gmres(diag_dom_small, b, tol=1e-10, maxiter=200)
+        precond = gmres(diag_dom_small, b, tol=1e-10, maxiter=200,
+                        preconditioner=JacobiPreconditioner(diag_dom_small))
+        assert precond.converged
+        assert precond.iterations <= plain.iterations
+
+
+class TestBlockJacobi:
+    def test_whole_matrix_block_is_exact(self, small_dense, rng):
+        A = CSRMatrix.from_dense(small_dense)
+        m = BlockJacobiPreconditioner(A, block_size=small_dense.shape[0])
+        r = rng.standard_normal(small_dense.shape[0])
+        np.testing.assert_allclose(m.apply(r), np.linalg.solve(small_dense, r), rtol=1e-10)
+
+    def test_block_size_one_is_jacobi(self, poisson_small, rng):
+        r = rng.standard_normal(poisson_small.shape[0])
+        blk = BlockJacobiPreconditioner(poisson_small, block_size=1)
+        jac = JacobiPreconditioner(poisson_small)
+        np.testing.assert_allclose(blk.apply(r), jac.apply(r), rtol=1e-12)
+
+    def test_invalid_block_size(self, poisson_small):
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(poisson_small, block_size=0)
+
+    def test_length_validated(self, poisson_small):
+        m = BlockJacobiPreconditioner(poisson_small, block_size=8)
+        with pytest.raises(ValueError):
+            m.apply(np.ones(5))
+
+
+class TestGaussSeidelSSOR:
+    def test_gauss_seidel_solves_lower_triangular(self, rng):
+        dense = np.tril(rng.standard_normal((8, 8))) + 8.0 * np.eye(8)
+        A = CSRMatrix.from_dense(dense)
+        m = GaussSeidelPreconditioner(A)
+        r = rng.standard_normal(8)
+        np.testing.assert_allclose(m.apply(r), np.linalg.solve(dense, r), rtol=1e-10)
+
+    def test_ssor_symmetric_for_spd(self, poisson_small, rng):
+        # The SSOR operator of an SPD matrix is SPD: check <M^{-1}u, v> symmetry.
+        m = SSORPreconditioner(poisson_small, omega=1.0)
+        u = rng.standard_normal(poisson_small.shape[0])
+        v = rng.standard_normal(poisson_small.shape[0])
+        left = np.dot(m.apply(u), v)
+        right = np.dot(u, m.apply(v))
+        assert left == pytest.approx(right, rel=1e-10)
+
+    def test_ssor_omega_validated(self, poisson_small):
+        with pytest.raises(ValueError):
+            SSORPreconditioner(poisson_small, omega=2.5)
+
+    def test_ssor_reduces_iterations(self, poisson_medium, rng):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        plain = gmres(poisson_medium, b, tol=1e-8, maxiter=300)
+        precond = gmres(poisson_medium, b, tol=1e-8, maxiter=300,
+                        preconditioner=SSORPreconditioner(poisson_medium))
+        assert precond.converged
+        assert precond.iterations < plain.iterations
+
+    def test_length_validated(self, poisson_small):
+        with pytest.raises(ValueError):
+            GaussSeidelPreconditioner(poisson_small).apply(np.ones(3))
+        with pytest.raises(ValueError):
+            SSORPreconditioner(poisson_small).apply(np.ones(3))
+
+
+class TestILU0:
+    def test_exact_for_tridiagonal(self, rng):
+        # ILU(0) of a tridiagonal matrix is an exact LU factorization
+        # (no fill-in is discarded), so applying it solves the system.
+        from repro.gallery.poisson import poisson1d
+
+        A = poisson1d(20)
+        m = ILU0Preconditioner(A)
+        r = rng.standard_normal(20)
+        np.testing.assert_allclose(m.apply(r), np.linalg.solve(A.todense(), r), rtol=1e-10)
+
+    def test_reduces_gmres_iterations(self, poisson_medium, rng):
+        b = rng.standard_normal(poisson_medium.shape[0])
+        plain = gmres(poisson_medium, b, tol=1e-8, maxiter=300)
+        precond = gmres(poisson_medium, b, tol=1e-8, maxiter=300,
+                        preconditioner=ILU0Preconditioner(poisson_medium))
+        assert precond.converged
+        assert precond.iterations < plain.iterations
+
+    def test_requires_square(self):
+        A = CSRMatrix.from_dense(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            ILU0Preconditioner(A)
+
+    def test_length_validated(self, poisson_small):
+        m = ILU0Preconditioner(poisson_small)
+        with pytest.raises(ValueError):
+            m.apply(np.ones(7))
+
+    def test_nonsymmetric_matrix(self, nonsym_small, rng):
+        m = ILU0Preconditioner(nonsym_small)
+        r = rng.standard_normal(nonsym_small.shape[0])
+        z = m.apply(r)
+        assert np.all(np.isfinite(z))
+        # The preconditioned residual should be much smaller than the raw one.
+        approx_residual = np.linalg.norm(r - nonsym_small.matvec(z))
+        assert approx_residual < 0.5 * np.linalg.norm(r)
+
+
+class TestNeumannPolynomial:
+    def test_degree_zero_is_jacobi(self, diag_dom_small, rng):
+        r = rng.standard_normal(diag_dom_small.shape[0])
+        poly = NeumannPolynomialPreconditioner(diag_dom_small, degree=0)
+        jac = JacobiPreconditioner(diag_dom_small)
+        np.testing.assert_allclose(poly.apply(r), jac.apply(r), rtol=1e-12)
+
+    def test_higher_degree_improves_approximation(self, diag_dom_small, rng):
+        r = rng.standard_normal(diag_dom_small.shape[0])
+        exact = np.linalg.solve(diag_dom_small.todense(), r)
+        err0 = np.linalg.norm(
+            NeumannPolynomialPreconditioner(diag_dom_small, degree=0).apply(r) - exact)
+        err3 = np.linalg.norm(
+            NeumannPolynomialPreconditioner(diag_dom_small, degree=3).apply(r) - exact)
+        assert err3 < err0
+
+    def test_negative_degree_rejected(self, poisson_small):
+        with pytest.raises(ValueError):
+            NeumannPolynomialPreconditioner(poisson_small, degree=-1)
+
+    def test_length_validated(self, poisson_small):
+        m = NeumannPolynomialPreconditioner(poisson_small, degree=1)
+        with pytest.raises(ValueError):
+            m.apply(np.ones(2))

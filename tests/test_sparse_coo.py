@@ -1,0 +1,99 @@
+"""Unit tests for the COO matrix builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = COOMatrix((3, 4))
+        assert m.shape == (3, 4)
+        assert m.nnz == 0
+        np.testing.assert_array_equal(m.todense(), np.zeros((3, 4)))
+
+    def test_triplets(self):
+        m = COOMatrix((2, 2), rows=[0, 1], cols=[1, 0], values=[2.0, 3.0])
+        dense = m.todense()
+        assert dense[0, 1] == 2.0
+        assert dense[1, 0] == 3.0
+        assert m.nnz == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            COOMatrix((2, 2), rows=[0], cols=[0, 1], values=[1.0])
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((-1, 2))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(IndexError):
+            COOMatrix((2, 2), rows=[2], cols=[0], values=[1.0])
+        with pytest.raises(IndexError):
+            COOMatrix((2, 2), rows=[0], cols=[5], values=[1.0])
+
+
+class TestAppendExtend:
+    def test_append(self):
+        m = COOMatrix((3, 3))
+        m.append(0, 0, 1.0)
+        m.append(2, 1, -4.0)
+        assert m.nnz == 2
+        assert m.todense()[2, 1] == -4.0
+
+    def test_append_out_of_bounds(self):
+        m = COOMatrix((2, 2))
+        with pytest.raises(IndexError):
+            m.append(3, 0, 1.0)
+
+    def test_extend(self):
+        m = COOMatrix((4, 4))
+        m.extend([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+
+    def test_extend_validates(self):
+        m = COOMatrix((2, 2))
+        with pytest.raises(IndexError):
+            m.extend([0, 5], [0, 0], [1.0, 1.0])
+
+
+class TestDuplicatesAndConversion:
+    def test_duplicates_summed_in_dense(self):
+        m = COOMatrix((2, 2), rows=[0, 0], cols=[0, 0], values=[1.5, 2.5])
+        assert m.todense()[0, 0] == 4.0
+
+    def test_duplicates_summed_in_csr(self):
+        m = COOMatrix((2, 2), rows=[0, 0, 1], cols=[0, 0, 1], values=[1.0, 2.0, 5.0])
+        csr = m.tocsr()
+        assert csr.nnz == 2
+        np.testing.assert_allclose(csr.todense(), [[3.0, 0.0], [0.0, 5.0]])
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((7, 5))
+        dense[np.abs(dense) < 0.6] = 0.0
+        m = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.todense(), dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1.0, 1e-14], [0.0, 2.0]])
+        m = COOMatrix.from_dense(dense, tol=1e-12)
+        assert m.nnz == 2
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(np.ones(3))
+
+
+class TestTranspose:
+    def test_transpose_swaps(self, rng):
+        dense = rng.standard_normal((4, 6))
+        m = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.transpose().todense(), dense.T)
+
+    def test_transpose_shape(self):
+        m = COOMatrix((2, 5))
+        assert m.transpose().shape == (5, 2)

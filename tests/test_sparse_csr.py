@@ -1,0 +1,182 @@
+"""Unit tests for the CSR matrix and its kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+class TestConstructionValidation:
+    def test_valid_matrix(self):
+        m = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_bad_indptr_start(self):
+        with pytest.raises(ValueError, match="indptr\\[0\\]"):
+            CSRMatrix((2, 2), [1, 1, 2], [0, 1], [1.0, 1.0])
+
+    def test_indptr_not_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix((3, 3), [0, 2, 1, 3], [0, 1, 2], [1.0, 1.0, 1.0])
+
+    def test_column_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            CSRMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 1.0])
+
+    def test_data_index_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            CSRMatrix((2, 2), [0, 1, 2], [0, 1], [1.0])
+
+
+class TestConversions:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((9, 7))
+        dense[np.abs(dense) < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.todense(), dense)
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(5)
+        np.testing.assert_allclose(eye.todense(), np.eye(5))
+
+    def test_tocoo_roundtrip(self, poisson_small):
+        back = poisson_small.tocoo().tocsr()
+        np.testing.assert_allclose(back.todense(), poisson_small.todense())
+
+    def test_scipy_roundtrip(self, poisson_small):
+        sp = poisson_small.to_scipy()
+        back = CSRMatrix.from_scipy(sp)
+        np.testing.assert_allclose(back.todense(), poisson_small.todense())
+
+    def test_from_coo_empty(self):
+        m = COOMatrix((4, 4)).tocsr()
+        assert m.nnz == 0
+        np.testing.assert_array_equal(m.matvec(np.ones(4)), np.zeros(4))
+
+
+class TestMatvec:
+    def test_matches_dense(self, rng):
+        dense = rng.standard_normal((20, 20))
+        dense[np.abs(dense) < 0.7] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(m.matvec(x), dense @ x, rtol=1e-13)
+
+    def test_matmul_operator(self, poisson_small, rng):
+        x = rng.standard_normal(poisson_small.shape[1])
+        np.testing.assert_allclose(poisson_small @ x, poisson_small.matvec(x))
+
+    def test_empty_rows(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 3.0
+        m = CSRMatrix.from_dense(dense)
+        y = m.matvec(np.ones(4))
+        np.testing.assert_allclose(y, [0.0, 3.0, 0.0, 0.0])
+
+    def test_dimension_mismatch(self, poisson_small):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            poisson_small.matvec(np.ones(poisson_small.shape[1] + 1))
+
+    def test_rmatvec_matches_dense(self, rng):
+        dense = rng.standard_normal((8, 11))
+        dense[np.abs(dense) < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(m.rmatvec(x), dense.T @ x, rtol=1e-13)
+
+    def test_rmatvec_dimension_mismatch(self, poisson_small):
+        with pytest.raises(ValueError):
+            poisson_small.rmatvec(np.ones(poisson_small.shape[0] + 2))
+
+
+class TestRowDiagonal:
+    def test_row_view(self, poisson_small):
+        cols, vals = poisson_small.row(0)
+        assert 0 in cols
+        assert vals[list(cols).index(0)] == 4.0
+
+    def test_row_out_of_bounds(self, poisson_small):
+        with pytest.raises(IndexError):
+            poisson_small.row(poisson_small.shape[0])
+
+    def test_diagonal(self, poisson_small):
+        np.testing.assert_allclose(poisson_small.diagonal(),
+                                   np.full(poisson_small.shape[0], 4.0))
+
+    def test_diagonal_with_missing_entries(self):
+        dense = np.array([[0.0, 1.0], [2.0, 5.0]])
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.diagonal(), [0.0, 5.0])
+
+
+class TestAlgebra:
+    def test_transpose(self, nonsym_small):
+        np.testing.assert_allclose(nonsym_small.transpose().todense(),
+                                   nonsym_small.todense().T)
+
+    def test_scale(self, poisson_small):
+        np.testing.assert_allclose(poisson_small.scale(2.5).todense(),
+                                   2.5 * poisson_small.todense())
+
+    def test_add(self, poisson_small):
+        s = poisson_small.add(poisson_small.scale(-1.0))
+        assert np.abs(s.todense()).max() == 0.0
+
+    def test_add_shape_mismatch(self, poisson_small):
+        other = CSRMatrix.identity(poisson_small.shape[0] + 1)
+        with pytest.raises(ValueError):
+            poisson_small.add(other)
+
+    def test_copy_independent(self, poisson_small):
+        c = poisson_small.copy()
+        c.data[:] = 0.0
+        assert np.abs(poisson_small.data).max() > 0.0
+
+
+class TestStructuralQueries:
+    def test_poisson_pattern_symmetric(self, poisson_small):
+        assert poisson_small.is_pattern_symmetric()
+        assert poisson_small.is_symmetric()
+
+    def test_nonsymmetric_values(self, nonsym_small):
+        # convection-diffusion: symmetric pattern but nonsymmetric values
+        assert nonsym_small.is_pattern_symmetric()
+        assert not nonsym_small.is_symmetric()
+
+    def test_nonsymmetric_pattern(self):
+        dense = np.array([[1.0, 2.0], [0.0, 1.0]])
+        m = CSRMatrix.from_dense(dense)
+        assert not m.is_pattern_symmetric()
+
+    def test_rectangular_not_symmetric(self):
+        m = CSRMatrix.from_dense(np.ones((2, 3)))
+        assert not m.is_pattern_symmetric()
+        assert not m.is_symmetric()
+
+    def test_structural_full_rank_poisson(self, poisson_small):
+        assert poisson_small.has_full_structural_rank()
+
+    def test_structural_rank_deficient(self):
+        dense = np.zeros((3, 3))
+        dense[0, 0] = 1.0
+        dense[1, 0] = 1.0  # column 1 and 2 empty -> rank deficient
+        m = CSRMatrix.from_dense(dense)
+        assert not m.has_full_structural_rank()
+
+    def test_drop_small(self):
+        dense = np.array([[1.0, 1e-15], [1e-16, 2.0]])
+        m = CSRMatrix.from_dense(dense)
+        pruned = m.drop_small(1e-12)
+        assert pruned.nnz == 2
+
+    def test_structural_rank_fallback_matches(self, poisson_small):
+        # The pure-Python fallback should agree with the scipy-based path.
+        n = poisson_small.shape[0]
+        assert poisson_small._structural_rank_fallback() == n

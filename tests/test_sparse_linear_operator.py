@@ -1,0 +1,87 @@
+"""Unit tests for the LinearOperator abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.linear_operator import (
+    LinearOperator,
+    MatrixFreeOperator,
+    aslinearoperator,
+)
+
+
+class TestAsLinearOperator:
+    def test_csr(self, poisson_small, rng):
+        op = aslinearoperator(poisson_small)
+        x = rng.standard_normal(op.n)
+        np.testing.assert_allclose(op.matvec(x), poisson_small.matvec(x))
+        np.testing.assert_allclose(op.rmatvec(x), poisson_small.rmatvec(x))
+
+    def test_coo(self, rng):
+        dense = rng.standard_normal((6, 6))
+        coo = COOMatrix.from_dense(dense)
+        op = aslinearoperator(coo)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(op.matvec(x), dense @ x, rtol=1e-13)
+
+    def test_dense(self, small_dense, rng):
+        op = aslinearoperator(small_dense)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(op.matvec(x), small_dense @ x)
+        np.testing.assert_allclose(op.rmatvec(x), small_dense.T @ x)
+
+    def test_scipy(self, poisson_small, rng):
+        op = aslinearoperator(poisson_small.to_scipy())
+        x = rng.standard_normal(op.n)
+        np.testing.assert_allclose(op.matvec(x), poisson_small.matvec(x))
+
+    def test_passthrough(self, poisson_small):
+        op = aslinearoperator(poisson_small)
+        assert aslinearoperator(op) is op
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            aslinearoperator("not a matrix")
+
+    def test_rejects_bad_dense_shape(self):
+        with pytest.raises(ValueError):
+            aslinearoperator(np.ones((2, 2, 2)))
+
+    def test_matmul_protocol(self, small_dense, rng):
+        op = aslinearoperator(small_dense)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(op @ x, small_dense @ x)
+
+
+class TestMatrixFreeOperator:
+    def test_matvec(self, rng):
+        diag = rng.random(10) + 1.0
+        op = MatrixFreeOperator((10, 10), matvec=lambda x: diag * x,
+                                rmatvec=lambda x: diag * x)
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(op.matvec(x), diag * x)
+        np.testing.assert_allclose(op.rmatvec(x), diag * x)
+
+    def test_shape_checked(self):
+        op = MatrixFreeOperator((5, 5), matvec=lambda x: x[:3])
+        with pytest.raises(ValueError, match="length"):
+            op.matvec(np.ones(5))
+
+    def test_missing_rmatvec(self):
+        op = MatrixFreeOperator((4, 4), matvec=lambda x: x)
+        with pytest.raises(NotImplementedError):
+            op.rmatvec(np.ones(4))
+
+    def test_base_class_abstract(self):
+        op = LinearOperator()
+        with pytest.raises(NotImplementedError):
+            op.matvec(np.ones(3))
+
+    def test_n_property(self):
+        op = MatrixFreeOperator((7, 4), matvec=lambda x: np.zeros(7))
+        assert op.n == 4
+        assert op.shape == (7, 4)
