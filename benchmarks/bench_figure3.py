@@ -18,7 +18,7 @@ import pytest
 from repro.experiments.figure34 import run_fault_sweep
 
 
-def _run_panel(problem, mgs_position, stride, max_outer=100):
+def _run_panel(problem, mgs_position, stride, max_outer=100, workers=1):
     return run_fault_sweep(
         problem,
         mgs_position=mgs_position,
@@ -27,6 +27,7 @@ def _run_panel(problem, mgs_position, stride, max_outer=100):
         max_outer=max_outer,
         outer_tol=1e-8,
         stride=stride,
+        workers=workers,
     )
 
 
@@ -53,10 +54,11 @@ def _record(benchmark, campaign):
 
 @pytest.mark.parametrize("mgs_position", ["first", "last"], ids=["fig3a", "fig3b"])
 def test_figure3_poisson_sdc_sweep(benchmark, poisson_bench_problem, stride, scale,
-                                   mgs_position):
+                                   workers, mgs_position):
     campaign = benchmark.pedantic(
-        lambda: _run_panel(poisson_bench_problem, mgs_position, stride),
+        lambda: _run_panel(poisson_bench_problem, mgs_position, stride, workers=workers),
         rounds=1, iterations=1)
+    benchmark.extra_info["workers"] = workers
     _report(campaign, f"Figure 3{'a' if mgs_position == 'first' else 'b'} "
                       f"(Poisson, SDC on the {mgs_position} MGS iteration, scale={scale})")
     _record(benchmark, campaign)

@@ -38,7 +38,7 @@ def _record(benchmark, campaign):
 
 @pytest.mark.parametrize("mgs_position", ["first", "last"], ids=["fig4a", "fig4b"])
 def test_figure4_circuit_sdc_sweep(benchmark, circuit_bench_problem, stride, scale,
-                                   circuit_max_outer, mgs_position):
+                                   circuit_max_outer, workers, mgs_position):
     campaign = benchmark.pedantic(
         lambda: run_fault_sweep(
             circuit_bench_problem,
@@ -48,8 +48,10 @@ def test_figure4_circuit_sdc_sweep(benchmark, circuit_bench_problem, stride, sca
             max_outer=circuit_max_outer,
             outer_tol=1e-8,
             stride=stride,
+            workers=workers,
         ),
         rounds=1, iterations=1)
+    benchmark.extra_info["workers"] = workers
     _report(campaign, f"Figure 4{'a' if mgs_position == 'first' else 'b'} "
                       f"(circuit, SDC on the {mgs_position} MGS iteration, scale={scale})")
     _record(benchmark, campaign)

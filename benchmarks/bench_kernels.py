@@ -12,6 +12,8 @@ paper makes qualitatively:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,9 @@ from repro.core.arnoldi import ArnoldiContext, arnoldi_process
 from repro.core.detectors import HessenbergBoundDetector
 from repro.core.ftgmres import ft_gmres
 from repro.core.gmres import gmres
+from repro.faults.injector import FaultInjector
+from repro.faults.models import PAPER_FAULT_CLASSES
+from repro.faults.schedule import InjectionSchedule
 from repro.sparse.norms import frobenius_norm, two_norm_estimate
 
 
@@ -86,6 +91,46 @@ def test_kernel_gmres_solve(benchmark, poisson_bench_problem):
                                 rounds=3, iterations=1)
     assert result.converged
     benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_kernel_gmres_nohook_fast_path(benchmark, poisson_bench_problem):
+    """The zero-overhead Arnoldi branch vs the hooked branch.
+
+    The hooked reference runs the identical arithmetic through the
+    injection/detection plumbing with a real (never-firing) injector — the
+    per-coefficient cost every faulted campaign trial pays in all but one
+    iteration.  The recorded ``speedup_vs_hooked`` is the failure-free
+    dividend of the fast path.
+    """
+    p = poisson_bench_problem
+    schedule = InjectionSchedule(site="hessenberg", aggregate_inner_iteration=-1,
+                                 mgs_position="first")
+
+    def hooked():
+        return gmres(p.A, p.b, tol=1e-8, maxiter=300,
+                     injector=FaultInjector(PAPER_FAULT_CLASSES["large"], schedule))
+
+    hooked_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        hooked_result = hooked()
+        hooked_seconds = min(hooked_seconds, time.perf_counter() - start)
+
+    fast_result = benchmark.pedantic(lambda: gmres(p.A, p.b, tol=1e-8, maxiter=300),
+                                     rounds=3, iterations=1)
+
+    # The fast path must not change the solve at all.
+    assert fast_result.iterations == hooked_result.iterations
+    assert np.array_equal(fast_result.x, hooked_result.x)
+
+    fast_seconds = benchmark.stats.stats.min
+    speedup = hooked_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+    benchmark.extra_info["iterations"] = fast_result.iterations
+    benchmark.extra_info["hooked_seconds"] = round(hooked_seconds, 4)
+    benchmark.extra_info["fast_seconds"] = round(fast_seconds, 4)
+    benchmark.extra_info["speedup_vs_hooked"] = round(speedup, 3)
+    print(f"\nno-hook fast path: {fast_seconds:.4f}s vs hooked {hooked_seconds:.4f}s "
+          f"-> {speedup:.2f}x")
 
 
 def test_kernel_cg_solve(benchmark, poisson_bench_problem):

@@ -16,7 +16,7 @@ from repro.faults.campaign import FaultCampaign
 from repro.faults.models import PAPER_FAULT_CLASSES
 
 
-def _sweep(problem, detector, stride, max_outer):
+def _sweep(problem, detector, stride, max_outer, workers=1):
     campaign = FaultCampaign(
         problem,
         inner_iterations=25,
@@ -27,13 +27,16 @@ def _sweep(problem, detector, stride, max_outer):
         detector=detector,
         detector_response="zero",
     )
-    return campaign.run(stride=stride)
+    return campaign.run(stride=stride, workers=workers)
 
 
-def test_summary_detector_effect_poisson(benchmark, poisson_bench_problem, stride, scale):
+def test_summary_detector_effect_poisson(benchmark, poisson_bench_problem, stride, scale,
+                                         workers):
     def run():
-        without = _sweep(poisson_bench_problem, None, stride, max_outer=100)
-        with_det = _sweep(poisson_bench_problem, "bound", stride, max_outer=100)
+        without = _sweep(poisson_bench_problem, None, stride, max_outer=100,
+                         workers=workers)
+        with_det = _sweep(poisson_bench_problem, "bound", stride, max_outer=100,
+                          workers=workers)
         return detector_comparison(without, with_det)
 
     comparison = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -11,6 +11,10 @@ variables:
 * ``REPRO_BENCH_STRIDE`` — subsampling of the injection locations for the
   Figure 3/4 sweeps (default 5 at ``small`` scale, 1 reproduces the paper's
   exhaustive sweep).
+* ``REPRO_WORKERS``      — parallel workers for the sweep campaigns
+  (default 1 = serial; 0 = one per CPU).  The execution engine guarantees
+  parallel output is trial-for-trial identical to serial output, so the
+  recorded ``extra_info`` numbers are invariant under this knob.
 
 Each benchmark stores its headline numbers in ``benchmark.extra_info`` so
 ``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` leaves a
@@ -23,6 +27,7 @@ import os
 
 import pytest
 
+from repro.exec.executor import resolve_workers
 from repro.gallery.problems import circuit_problem, poisson_problem
 
 #: Matrix sizes per scale: (poisson grid side, circuit dimension).
@@ -61,10 +66,21 @@ def bench_stride() -> int:
     return stride
 
 
+def bench_workers() -> int:
+    """The configured sweep worker count (the ``REPRO_WORKERS`` knob)."""
+    return resolve_workers(None)
+
+
 @pytest.fixture(scope="session")
 def scale() -> str:
     """Benchmark scale name."""
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Parallel workers for the sweep campaigns (1 = serial)."""
+    return bench_workers()
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,8 @@ GMRES:
   and the robust projected least-squares policies (:mod:`repro.core`);
 * a fault-injection framework implementing the paper's single-transient-SDC
   methodology and its generalizations (:mod:`repro.faults`);
+* a parallel campaign execution engine with serial/thread/process backends
+  and deterministic result ordering (:mod:`repro.exec`);
 * experiment drivers that regenerate every table and figure of the paper's
   evaluation (:mod:`repro.experiments`).
 
@@ -68,6 +70,7 @@ from repro.faults import (
     FaultCampaign,
     sweep_injection_locations,
 )
+from repro.exec import CampaignExecutor, ProblemFactory, TrialSpec
 from repro.precond import (
     IdentityPreconditioner,
     JacobiPreconditioner,
@@ -125,5 +128,9 @@ __all__ = [
     "Sandbox",
     "FaultCampaign",
     "sweep_injection_locations",
+    # parallel execution engine
+    "CampaignExecutor",
+    "ProblemFactory",
+    "TrialSpec",
     "__version__",
 ]

@@ -19,6 +19,7 @@ from repro.core.hessenberg import HessenbergMatrix
 from repro.core.arnoldi import ArnoldiContext, arnoldi_step, arnoldi_process
 from repro.core.householder import householder_arnoldi
 from repro.core.least_squares import (
+    IncrementalGivensQR,
     LeastSquaresPolicy,
     solve_projected_lsq,
     solve_triangular,
@@ -47,6 +48,7 @@ __all__ = [
     "arnoldi_step",
     "arnoldi_process",
     "householder_arnoldi",
+    "IncrementalGivensQR",
     "LeastSquaresPolicy",
     "solve_projected_lsq",
     "solve_triangular",

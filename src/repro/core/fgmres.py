@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.detectors import Detector
 from repro.core.hessenberg import HessenbergMatrix
-from repro.core.least_squares import LeastSquaresPolicy, solve_projected_lsq
+from repro.core.least_squares import LeastSquaresPolicy
 from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
 from repro.sparse.linear_operator import LinearOperator, aslinearoperator
 from repro.utils.events import EventLog
@@ -144,8 +144,10 @@ def fgmres(
     if beta <= target:
         return SolverResult(x, SolverStatus.CONVERGED, 0, beta, history, events, matvecs)
 
-    Q = np.zeros((n, max_outer + 1), dtype=np.float64)
-    Z = np.zeros((n, max_outer), dtype=np.float64)
+    # Fortran order: basis columns are the unit of access in the
+    # orthogonalization and update kernels, so keep them contiguous.
+    Q = np.zeros((n, max_outer + 1), dtype=np.float64, order="F")
+    Z = np.zeros((n, max_outer), dtype=np.float64, order="F")
     Q[:, 0] = r / beta
     hess = HessenbergMatrix(max_outer, beta)
 
@@ -223,11 +225,7 @@ def fgmres(
 
     # ----- solution update from the flexible basis Z ------------------------
     if k > 0:
-        y, lsq_info = solve_projected_lsq(
-            hess.R, hess.g, policy=policy, tol=lsq_tol,
-            H=hess.H if policy is not LeastSquaresPolicy.STANDARD else None,
-            beta=beta,
-        )
+        y, lsq_info = hess.solve_y(policy=policy, tol=lsq_tol)
         if lsq_info.get("fallback"):
             events.record("lsq_fallback", where="least_squares", outer_iteration=k)
         x = x + Z[:, :k] @ y

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.arnoldi import ArnoldiContext, arnoldi_step
 from repro.core.detectors import Detector, HessenbergBoundDetector
 from repro.core.hessenberg import HessenbergMatrix
-from repro.core.least_squares import LeastSquaresPolicy, solve_projected_lsq
+from repro.core.least_squares import LeastSquaresPolicy
 from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
 from repro.sparse.linear_operator import LinearOperator, aslinearoperator
 from repro.sparse.norms import hessenberg_bound
@@ -224,7 +224,9 @@ def gmres(
             status = SolverStatus.STAGNATED if beta == 0.0 else SolverStatus.MAX_ITERATIONS
             break
         cycle_len = min(m, maxiter - total_iterations)
-        basis = np.zeros((n, cycle_len + 1), dtype=np.float64)
+        # Fortran order makes every basis column contiguous, which is what
+        # the BLAS-level dot/axpy kernels of the orthogonalization want.
+        basis = np.zeros((n, cycle_len + 1), dtype=np.float64, order="F")
         basis[:, 0] = r / beta
         hess = HessenbergMatrix(cycle_len, beta)
 
@@ -248,11 +250,7 @@ def gmres(
 
         # Form the solution update from this cycle.
         if k > 0:
-            y, lsq_info = solve_projected_lsq(
-                hess.R, hess.g, policy=policy, tol=lsq_tol,
-                H=hess.H if policy is not LeastSquaresPolicy.STANDARD else None,
-                beta=beta,
-            )
+            y, lsq_info = hess.solve_y(policy=policy, tol=lsq_tol)
             if lsq_info.get("fallback"):
                 events.record("lsq_fallback", where="least_squares",
                               outer_iteration=outer_iteration, inner_iteration=total_iterations)

@@ -15,6 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.least_squares import (
+    IncrementalGivensQR,
+    LeastSquaresPolicy,
+    givens_rotation,
+)
+
 __all__ = ["HessenbergMatrix"]
 
 
@@ -38,18 +44,19 @@ class HessenbergMatrix:
         m = int(max_columns)
         self.max_columns = m
         self._H = np.zeros((m + 1, m), dtype=np.float64)
-        self.k = 0  # number of completed columns
-        # Incremental QR state: R is upper triangular, g = Q^T (beta e1).
-        self._R = np.zeros((m + 1, m), dtype=np.float64)
-        self._g = np.zeros(m + 1, dtype=np.float64)
-        self._g[0] = float(beta)
-        self._cs = np.zeros(m, dtype=np.float64)
-        self._sn = np.zeros(m, dtype=np.float64)
+        # Incremental QR state lives in the least-squares layer: rotations
+        # are reused across iterations, never recomputed.
+        self._qr = IncrementalGivensQR(m, beta)
         self.beta = float(beta)
 
     # ------------------------------------------------------------------ #
     # column insertion and incremental QR
     # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        """Number of completed columns."""
+        return self._qr.k
+
     def add_column(self, column: np.ndarray) -> float:
         """Append the ``k``-th Arnoldi column and update the QR factorization.
 
@@ -75,54 +82,11 @@ class HessenbergMatrix:
                 f"column {j} must have {j + 2} entries, got {column.shape[0]}"
             )
         self._H[: j + 2, j] = column
+        return self._qr.add_column(column)
 
-        # Apply previous Givens rotations to the new column.
-        r = column[: j + 2].copy()
-        for i in range(j):
-            c, s = self._cs[i], self._sn[i]
-            temp = c * r[i] + s * r[i + 1]
-            r[i + 1] = -s * r[i] + c * r[i + 1]
-            r[i] = temp
-
-        # Compute and apply the new rotation that zeroes r[j+1].
-        c, s = self._givens(r[j], r[j + 1])
-        self._cs[j], self._sn[j] = c, s
-        r[j] = c * r[j] + s * r[j + 1]
-        r[j + 1] = 0.0
-        self._R[: j + 2, j] = r
-
-        # Apply the new rotation to the right-hand side g.
-        g_j = self._g[j]
-        self._g[j] = c * g_j
-        self._g[j + 1] = -s * g_j
-
-        self.k = j + 1
-        return abs(float(self._g[j + 1]))
-
-    @staticmethod
-    def _givens(a: float, b: float) -> tuple[float, float]:
-        """Compute a Givens rotation ``(c, s)`` such that ``[c s; -s c] [a; b] = [r; 0]``.
-
-        The formulation avoids overflow for huge corrupted entries (the
-        ``1e+150``-scaled faults of the paper) by normalizing by the larger
-        magnitude first.
-        """
-        if b == 0.0:
-            return 1.0, 0.0
-        if a == 0.0:
-            return 0.0, 1.0
-        if not (np.isfinite(a) and np.isfinite(b)):
-            # A non-finite entry poisons the rotation; fall back to the
-            # convention that keeps downstream arithmetic non-finite rather
-            # than raising, so the solver's NaN/Inf detection can see it.
-            return float("nan"), float("nan")
-        if abs(b) > abs(a):
-            t = a / b
-            s = 1.0 / np.sqrt(1.0 + t * t)
-            return s * t, s
-        t = b / a
-        c = 1.0 / np.sqrt(1.0 + t * t)
-        return c, c * t
+    #: Retained for backwards compatibility; the canonical implementation is
+    #: :func:`repro.core.least_squares.givens_rotation`.
+    _givens = staticmethod(givens_rotation)
 
     # ------------------------------------------------------------------ #
     # views
@@ -135,12 +99,25 @@ class HessenbergMatrix:
     @property
     def R(self) -> np.ndarray:
         """Upper-triangular factor of the QR factorization, shape ``k x k``."""
-        return self._R[: self.k, : self.k]
+        return self._qr.R
 
     @property
     def g(self) -> np.ndarray:
         """The rotated right-hand side ``Q^T (beta e1)``, length ``k+1``."""
-        return self._g[: self.k + 1]
+        return self._qr.g
+
+    def solve_y(self, policy=LeastSquaresPolicy.STANDARD, tol: float | None = None
+                ) -> tuple[np.ndarray, dict]:
+        """Solve for the update coefficients from the maintained factorization.
+
+        The STANDARD policy back-substitutes the incrementally maintained
+        triangular system (no re-factorization, Inf/NaN propagation intact);
+        the rank-revealing policies are handed the full Hessenberg matrix, as
+        the solvers did before (see :func:`solve_projected_lsq`).
+        """
+        policy = LeastSquaresPolicy.coerce(policy)
+        H = self.H if policy is not LeastSquaresPolicy.STANDARD else None
+        return self._qr.solve(policy=policy, tol=tol, H=H, beta=self.beta)
 
     @property
     def square(self) -> np.ndarray:
@@ -155,7 +132,7 @@ class HessenbergMatrix:
 
     def least_squares_residual(self) -> float:
         """Current GMRES residual estimate ``|g_{k+1}|``."""
-        return abs(float(self._g[self.k])) if self.k > 0 else abs(float(self._g[0]))
+        return self._qr.residual_estimate()
 
     # ------------------------------------------------------------------ #
     # analysis used by the paper

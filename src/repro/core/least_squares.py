@@ -31,6 +31,7 @@ import numpy as np
 
 __all__ = [
     "LeastSquaresPolicy",
+    "IncrementalGivensQR",
     "solve_triangular",
     "solve_rank_revealing",
     "solve_projected_lsq",
@@ -56,6 +57,143 @@ class LeastSquaresPolicy(Enum):
                 f"unknown least-squares policy {value!r}; "
                 f"expected one of {[p.value for p in cls]}"
             ) from exc
+
+
+def givens_rotation(a: float, b: float) -> tuple[float, float]:
+    """Compute a Givens rotation ``(c, s)`` such that ``[c s; -s c] [a; b] = [r; 0]``.
+
+    The formulation avoids overflow for huge corrupted entries (the
+    ``1e+150``-scaled faults of the paper) by normalizing by the larger
+    magnitude first.  Non-finite inputs yield a NaN rotation so downstream
+    arithmetic stays non-finite (the solver's IEEE-754 detection sees it)
+    rather than raising.
+    """
+    if b == 0.0:
+        return 1.0, 0.0
+    if a == 0.0:
+        return 0.0, 1.0
+    if not (np.isfinite(a) and np.isfinite(b)):
+        return float("nan"), float("nan")
+    if abs(b) > abs(a):
+        t = a / b
+        s = 1.0 / np.sqrt(1.0 + t * t)
+        return s * t, s
+    t = b / a
+    c = 1.0 / np.sqrt(1.0 + t * t)
+    return c, c * t
+
+
+class IncrementalGivensQR:
+    """Incremental Givens QR of a growing ``(k+1) x k`` upper Hessenberg matrix.
+
+    This is the factorization Saad and Schultz use to solve the projected
+    least-squares problem in O(k) extra work per iteration: each new Arnoldi
+    column is rotated by all previous Givens rotations, one new rotation
+    zeroes its subdiagonal entry, and the rotated right-hand side ``g`` keeps
+    both the residual estimate (``|g_{k+1}|``) and the triangular system
+    ``R y = g_{1:k}`` current.  Nothing is ever re-factored: the rotations
+    are *reused* across iterations, and :meth:`solve` works directly off the
+    maintained ``R`` and ``g``.
+
+    Parameters
+    ----------
+    max_columns : int
+        Maximum number of columns (restart length); storage is allocated
+        once up front.
+    beta : float
+        Norm of the initial residual; the right-hand side is ``beta * e_1``.
+    """
+
+    def __init__(self, max_columns: int, beta: float = 0.0):
+        if max_columns <= 0:
+            raise ValueError(f"max_columns must be positive, got {max_columns}")
+        m = int(max_columns)
+        self.max_columns = m
+        self.k = 0  # number of completed columns
+        self._R = np.zeros((m + 1, m), dtype=np.float64)
+        self._g = np.zeros(m + 1, dtype=np.float64)
+        self._g[0] = float(beta)
+        # The rotation recurrence is scalar and sequential, so the rotations
+        # are kept as plain Python floats (identical IEEE-754 arithmetic,
+        # none of the NumPy scalar-indexing overhead in the hot loop).
+        self._cs: list[float] = [0.0] * m
+        self._sn: list[float] = [0.0] * m
+        self.beta = float(beta)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def R(self) -> np.ndarray:
+        """Upper-triangular factor, shape ``k x k`` (copy-free view)."""
+        return self._R[: self.k, : self.k]
+
+    @property
+    def g(self) -> np.ndarray:
+        """The rotated right-hand side ``Q^T (beta e1)``, length ``k+1``."""
+        return self._g[: self.k + 1]
+
+    def residual_estimate(self) -> float:
+        """GMRES's monotone least-squares residual estimate ``|g_{k+1}|``."""
+        return abs(float(self._g[self.k]))
+
+    # ------------------------------------------------------------------ #
+    def add_column(self, column) -> float:
+        """Rotate a new Hessenberg column into the factorization.
+
+        Parameters
+        ----------
+        column : array_like
+            The ``k+2`` entries of column ``k`` (orthogonalization
+            coefficients plus the subdiagonal norm).
+
+        Returns
+        -------
+        float
+            The updated residual estimate ``|g_{k+1}|``.
+        """
+        j = self.k
+        if j >= self.max_columns:
+            raise RuntimeError("IncrementalGivensQR is full; increase max_columns")
+        cs, sn = self._cs, self._sn
+        r = [float(v) for v in column]
+        if len(r) != j + 2:
+            raise ValueError(f"column {j} must have {j + 2} entries, got {len(r)}")
+
+        # Reuse the previous rotations on the new column.
+        for i in range(j):
+            c, s = cs[i], sn[i]
+            r_i, r_i1 = r[i], r[i + 1]
+            r[i] = c * r_i + s * r_i1
+            r[i + 1] = -s * r_i + c * r_i1
+
+        # Compute and apply the new rotation that zeroes r[j+1].
+        c, s = givens_rotation(r[j], r[j + 1])
+        cs[j], sn[j] = c, s
+        r[j] = c * r[j] + s * r[j + 1]
+        r[j + 1] = 0.0
+        self._R[: j + 2, j] = r
+
+        # Apply the new rotation to the right-hand side g.
+        g_j = float(self._g[j])
+        self._g[j] = c * g_j
+        self._g[j + 1] = -s * g_j
+
+        self.k = j + 1
+        return abs(float(self._g[j + 1]))
+
+    # ------------------------------------------------------------------ #
+    def solve(self, policy=LeastSquaresPolicy.STANDARD, tol: float | None = None,
+              H: np.ndarray | None = None, beta: float | None = None
+              ) -> tuple[np.ndarray, dict]:
+        """Solve the projected least-squares problem from the maintained state.
+
+        Equivalent to ``solve_projected_lsq(self.R, self.g, ...)`` — the
+        factorization is never recomputed; ``H``/``beta`` are only consulted
+        by the rank-revealing policies (see :func:`solve_projected_lsq`).
+        """
+        return solve_projected_lsq(
+            self.R, self.g, policy=policy, tol=tol, H=H,
+            beta=self.beta if beta is None else beta,
+        )
 
 
 def solve_triangular(R: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -124,12 +262,20 @@ def solve_rank_revealing(M: np.ndarray, rhs: np.ndarray, tol: float | None = Non
         return np.zeros(M.shape[1], dtype=np.float64), 0
     if tol is None:
         tol = max(M.shape) * np.finfo(np.float64).eps
-    keep = s > tol * s[0]
+    # Discard directions below the relative tolerance, and subnormal singular
+    # values outright: dividing by them overflows, and the whole point of
+    # policy 3 is a *bounded* update.
+    keep = (s > tol * s[0]) & (s >= np.finfo(np.float64).tiny)
     rank = int(np.count_nonzero(keep))
     if rank == 0:
         return np.zeros(M.shape[1], dtype=np.float64), 0
-    coeffs = (U[:, keep].T @ rhs) / s[keep]
-    y = Vt[keep, :].T @ coeffs
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        coeffs = (U[:, keep].T @ rhs) / s[keep]
+        y = Vt[keep, :].T @ coeffs
+    if not np.all(np.isfinite(y)):
+        # Last-resort guard (huge rhs over tiny-but-normal singular values):
+        # zero the unrepresentable directions rather than return Inf/NaN.
+        y = np.nan_to_num(y, nan=0.0, posinf=0.0, neginf=0.0)
     return y, rank
 
 

@@ -1,0 +1,20 @@
+"""Parallel execution engine for fault campaigns.
+
+The paper's headline artifacts are sweeps of *independent* nested solves;
+this package schedules them over serial/thread/process backends with
+per-worker problem construction and deterministic result ordering.  See
+:class:`repro.exec.executor.CampaignExecutor`.
+"""
+
+from repro.exec.executor import BACKENDS, CampaignExecutor, resolve_backend, resolve_workers
+from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
+
+__all__ = [
+    "BACKENDS",
+    "CampaignExecutor",
+    "CampaignConfig",
+    "ProblemFactory",
+    "TrialSpec",
+    "resolve_backend",
+    "resolve_workers",
+]

@@ -1,0 +1,242 @@
+"""The parallel campaign execution engine.
+
+A fault campaign is hundreds to thousands of *independent* nested FT-GMRES
+solves — one per (fault class, injection location) pair.  This module
+schedules them over pluggable backends:
+
+* ``"serial"``  — the plain loop (reference semantics, zero overhead);
+* ``"thread"``  — a ``ThreadPoolExecutor`` (useful when the solves release
+  the GIL in BLAS-heavy kernels, and for testing the dispatch machinery);
+* ``"process"`` — a ``ProcessPoolExecutor`` (true parallelism; the paper's
+  sweeps are embarrassingly parallel and CPU-bound).
+
+Design invariants:
+
+* **Per-worker problem construction.**  The campaign configuration (matrix,
+  detector bound, fault models) crosses the pool boundary exactly once per
+  worker, through the pool initializer; each task then carries only a chunk
+  of tiny :class:`~repro.exec.spec.TrialSpec` values.
+* **Deterministic result ordering.**  Every spec carries its position in the
+  canonical serial order and results are reassembled by that index, so a
+  parallel campaign is trial-for-trial identical to a serial one regardless
+  of completion order (asserted in the test suite).  The guarantee covers
+  stateless detectors and deterministic fault models — the paper's
+  configuration; components that accumulate state *across* trials (e.g.
+  ``NormGrowthDetector``) see per-worker history under parallel backends
+  and should be swept serially.
+* **Chunked dispatch.**  Specs are dispatched in chunks to amortize
+  inter-process messaging over many ~25 ms solves.
+* **Progress callbacks.**  ``progress(done, total)`` fires per trial in
+  serial mode and per completed chunk in parallel mode.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+
+from repro.exec.spec import CampaignConfig, TrialSpec
+
+__all__ = ["BACKENDS", "CampaignExecutor", "resolve_workers", "resolve_backend"]
+
+#: Recognized execution backends.
+BACKENDS = ("serial", "thread", "process")
+
+#: Maximum number of chunk futures kept in flight per worker; bounds the
+#: memory held by pending results while keeping every worker busy.
+_IN_FLIGHT_PER_WORKER = 2
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit value, ``REPRO_WORKERS``, or 1.
+
+    ``workers=0`` (or ``REPRO_WORKERS=0``) means "one per CPU".
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is None:
+            return 1
+        workers = int(env)
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def resolve_backend(backend: str | None, workers: int) -> str:
+    """Resolve a backend name; ``None`` picks ``process`` when ``workers > 1``."""
+    if backend is None:
+        return "process" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+# ---------------------------------------------------------------------- #
+# worker-side plumbing (module level so it pickles under any start method)
+# ---------------------------------------------------------------------- #
+_PROCESS_CAMPAIGN = None
+_THREAD_STATE = threading.local()
+
+
+def _process_init(config: CampaignConfig) -> None:
+    """Process-pool initializer: build the campaign once per worker process."""
+    global _PROCESS_CAMPAIGN
+    _PROCESS_CAMPAIGN = config.build_campaign()
+
+
+def _process_chunk(chunk: list[TrialSpec]) -> list[tuple[int, object]]:
+    """Run one chunk of trials against the worker-local campaign."""
+    campaign = _PROCESS_CAMPAIGN
+    return [(spec.index, campaign.run_spec(spec)) for spec in chunk]
+
+
+def _thread_init(config: CampaignConfig) -> None:
+    """Thread-pool initializer: one campaign per worker thread.
+
+    Detectors may carry running state (e.g. ``NormGrowthDetector``), so
+    threads never share a campaign instance.
+    """
+    _THREAD_STATE.campaign = config.build_campaign()
+
+
+def _thread_chunk(chunk: list[TrialSpec]) -> list[tuple[int, object]]:
+    campaign = _THREAD_STATE.campaign
+    return [(spec.index, campaign.run_spec(spec)) for spec in chunk]
+
+
+# ---------------------------------------------------------------------- #
+# the executor
+# ---------------------------------------------------------------------- #
+class CampaignExecutor:
+    """Schedules a campaign's independent trials over a chosen backend.
+
+    Parameters
+    ----------
+    config : CampaignConfig or FaultCampaign
+        What each worker needs to run trials.  A campaign instance is
+        snapshotted via :meth:`FaultCampaign.to_config`.
+    backend : {"serial", "thread", "process"} or None
+        ``None`` auto-selects: ``process`` when ``workers > 1``.
+    workers : int, optional
+        Worker count; defaults to the ``REPRO_WORKERS`` environment variable
+        and then 1.  ``0`` means one per CPU.
+    chunksize : int, optional
+        Trials per dispatched task.  The default splits the work into about
+        four chunks per worker, which balances messaging overhead against
+        load-balancing granularity.
+    """
+
+    def __init__(self, config, *, backend: str | None = None, workers: int | None = None,
+                 chunksize: int | None = None):
+        self._local_campaign = None
+        if not isinstance(config, CampaignConfig):
+            to_config = getattr(config, "to_config", None)
+            if to_config is None:
+                raise TypeError(
+                    "config must be a CampaignConfig or a FaultCampaign, "
+                    f"got {type(config).__name__}"
+                )
+            self._local_campaign = config
+            config = to_config()
+        self.config = config
+        self.workers = resolve_workers(workers)
+        self.backend = resolve_backend(backend, self.workers)
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        self.chunksize = chunksize
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs, progress=None) -> list:
+        """Execute all trial specs; return records in canonical spec order.
+
+        Parameters
+        ----------
+        specs : sequence of TrialSpec
+            The work list.  ``spec.index`` values must be unique; they define
+            the output order.
+        progress : callable, optional
+            ``progress(done, total)`` callback.
+
+        Returns
+        -------
+        list of TrialRecord
+            One record per spec, ordered by ``spec.index`` — identical to
+            what a serial loop over the same specs would produce.
+        """
+        specs = list(specs)
+        total = len(specs)
+        if total == 0:
+            return []
+        indices = [spec.index for spec in specs]
+        if len(set(indices)) != total:
+            raise ValueError("trial spec indices must be unique")
+
+        if self.backend == "serial" or self.workers <= 1 or total == 1:
+            return self._run_serial(specs, progress, total)
+        return self._run_pool(specs, progress, total)
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, specs, progress, total) -> list:
+        if self._local_campaign is None:
+            self._local_campaign = self.config.build_campaign()
+        campaign = self._local_campaign
+        records = []
+        for done, spec in enumerate(specs, start=1):
+            records.append((spec.index, campaign.run_spec(spec)))
+            if progress is not None:
+                progress(done, total)
+        records.sort(key=lambda pair: pair[0])
+        return [record for _, record in records]
+
+    def _run_pool(self, specs, progress, total) -> list:
+        workers = min(self.workers, total)
+        chunks = self._chunk(specs, workers)
+        if self.backend == "process":
+            pool_cls, init, run_chunk = ProcessPoolExecutor, _process_init, _process_chunk
+        else:
+            pool_cls, init, run_chunk = ThreadPoolExecutor, _thread_init, _thread_chunk
+
+        results: list[tuple[int, object]] = []
+        done = 0
+        with pool_cls(max_workers=workers, initializer=init,
+                      initargs=(self.config,)) as pool:
+            # Windowed submission: keep every worker busy without queueing
+            # the entire campaign's pending futures at once.
+            window = workers * _IN_FLIGHT_PER_WORKER
+            chunk_iter = iter(chunks)
+            pending = {pool.submit(run_chunk, chunk)
+                       for chunk in _take(chunk_iter, window)}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk_result = future.result()
+                    results.extend(chunk_result)
+                    done += len(chunk_result)
+                    if progress is not None:
+                        progress(done, total)
+                for chunk in _take(chunk_iter, len(finished)):
+                    pending.add(pool.submit(run_chunk, chunk))
+
+        results.sort(key=lambda pair: pair[0])
+        return [record for _, record in results]
+
+    def _chunk(self, specs, workers) -> list[list[TrialSpec]]:
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(specs) // (workers * 4)))
+        return [specs[i: i + chunksize] for i in range(0, len(specs), chunksize)]
+
+
+def _take(iterator, n: int) -> list:
+    """Up to ``n`` items from ``iterator``."""
+    out = []
+    for _ in range(n):
+        try:
+            out.append(next(iterator))
+        except StopIteration:
+            break
+    return out

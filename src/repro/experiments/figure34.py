@@ -39,12 +39,18 @@ def run_fault_sweep(
     stride: int = 1,
     locations=None,
     progress=None,
+    backend: str | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
 ) -> CampaignResult:
     """Run one injection sweep (one sub-figure of Figure 3 or 4).
 
     Parameters mirror :class:`repro.faults.campaign.FaultCampaign`; see there
     for semantics.  ``stride`` subsamples the injection locations for fast
     benchmark configurations (``stride=1`` is the paper's exhaustive sweep).
+    ``backend``/``workers``/``chunksize`` configure the parallel execution
+    engine (see :class:`repro.exec.CampaignExecutor`); results are identical
+    to a serial run for any setting.
     """
     campaign = FaultCampaign(
         problem,
@@ -56,7 +62,8 @@ def run_fault_sweep(
         detector=detector,
         detector_response=detector_response,
     )
-    return campaign.run(locations=locations, stride=stride, progress=progress)
+    return campaign.run(locations=locations, stride=stride, progress=progress,
+                        backend=backend, workers=workers, chunksize=chunksize)
 
 
 @dataclass

@@ -51,10 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="problem sizes (paper = Table I sizes)")
     parser.add_argument("--stride", type=int, default=5,
                         help="injection-location stride for the sweeps (1 = exhaustive)")
-    parser.add_argument("--detector", default=None, choices=[None, "bound"],
-                        help="enable the Hessenberg-bound detector in the inner solves")
+    parser.add_argument("--detector", default=None, choices=("bound",),
+                        help="enable the Hessenberg-bound detector in the inner solves "
+                             "(omit the flag to disable detection)")
     parser.add_argument("--inner-iterations", type=int, default=25,
                         help="inner GMRES iterations per outer iteration")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel workers for the sweeps (default: REPRO_WORKERS "
+                             "or 1; 0 = one per CPU)")
+    parser.add_argument("--backend", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="campaign execution backend (default: process when "
+                             "workers > 1, else serial)")
     return parser
 
 
@@ -86,6 +94,8 @@ def _run_figure(problem, label: str, args) -> None:
             inner_iterations=args.inner_iterations,
             max_outer=MAX_OUTER["poisson" if problem.spd else "circuit"],
             stride=args.stride,
+            workers=args.workers,
+            backend=args.backend,
         )
     figure = FigureSweep(problem_name=problem.name, first=panels["first"],
                          last=panels["last"])
@@ -101,7 +111,8 @@ def _print_summary(problems, args) -> None:
             problem, inner_iterations=args.inner_iterations,
             max_outer=MAX_OUTER["poisson"], mgs_position="first",
             detector=detector, detector_response="zero")
-        campaigns[detector] = campaign.run(stride=args.stride)
+        campaigns[detector] = campaign.run(stride=args.stride, workers=args.workers,
+                                           backend=args.backend)
     comparison = detector_comparison(campaigns[None], campaigns["bound"])
     print("Section VII-E summary (Poisson):")
     for key, campaign in (("without detector", campaigns[None]),

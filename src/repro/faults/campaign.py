@@ -178,6 +178,11 @@ class FaultCampaign:
         self.mgs_position = mgs_position
         self.site = site
         self.detector_response = detector_response
+        # Keep the constructor *specifications* so worker processes can
+        # rebuild an equivalent campaign (see to_config).
+        self._detector_spec = detector
+        self._inner_params_spec = inner_params
+        self._outer_params_spec = outer_params
 
         resolved_detector: Detector | None
         if detector is None or isinstance(detector, Detector):
@@ -230,7 +235,61 @@ class FaultCampaign:
             detector_enabled=self.detector is not None,
         )
 
-    def run(self, locations=None, stride: int = 1, progress=None) -> CampaignResult:
+    def run_spec(self, spec) -> TrialRecord:
+        """Run the trial described by a :class:`~repro.exec.spec.TrialSpec`."""
+        try:
+            model = self.fault_classes[spec.fault_class]
+        except KeyError:
+            raise KeyError(
+                f"unknown fault class {spec.fault_class!r}; "
+                f"campaign has {sorted(self.fault_classes)}"
+            ) from None
+        return self.run_single(spec.fault_class, model, spec.aggregate_inner_iteration)
+
+    # ------------------------------------------------------------------ #
+    # execution-engine integration
+    # ------------------------------------------------------------------ #
+    def to_config(self, problem_factory=None):
+        """Snapshot this campaign as a picklable executor configuration.
+
+        Parameters
+        ----------
+        problem_factory : ProblemFactory, optional
+            When given, workers rebuild the problem from the factory instead
+            of unpickling the matrix (see :class:`repro.exec.spec.ProblemFactory`).
+        """
+        from repro.exec.spec import CampaignConfig
+
+        return CampaignConfig(
+            problem=None if problem_factory is not None else self.problem,
+            problem_factory=problem_factory,
+            inner_iterations=self.inner_iterations,
+            max_outer=self.max_outer,
+            outer_tol=self.outer_tol,
+            fault_classes=dict(self.fault_classes),
+            mgs_position=self.mgs_position,
+            detector=self._detector_spec,
+            detector_response=self.detector_response,
+            site=self.site,
+            inner_params=self._inner_params_spec,
+            outer_params=self._outer_params_spec,
+        )
+
+    def trial_specs(self, locations) -> list:
+        """The campaign's work list in canonical (serial) order."""
+        from repro.exec.spec import TrialSpec
+
+        locations = list(locations)  # every fault class sweeps all locations
+        return [
+            TrialSpec(index=index, fault_class=fault_class,
+                      aggregate_inner_iteration=int(loc))
+            for index, (fault_class, loc) in enumerate(
+                (cls, loc) for cls in self.fault_classes for loc in locations)
+        ]
+
+    def run(self, locations=None, stride: int = 1, progress=None, *,
+            backend: str | None = None, workers: int | None = None,
+            chunksize: int | None = None, executor=None) -> CampaignResult:
         """Run the full campaign.
 
         Parameters
@@ -245,11 +304,31 @@ class FaultCampaign:
             benchmark configurations; ``stride=1`` reproduces the paper).
         progress : callable, optional
             ``progress(done, total)`` callback.
+        backend : {"serial", "thread", "process"}, optional
+            Execution backend; ``None`` auto-selects ``process`` when the
+            resolved worker count exceeds 1.
+        workers : int, optional
+            Worker count (default: the ``REPRO_WORKERS`` environment
+            variable, then 1; ``0`` means one per CPU).
+        chunksize : int, optional
+            Trials per dispatched task (parallel backends only).
+        executor : CampaignExecutor, optional
+            A pre-built executor; overrides ``backend``/``workers``/
+            ``chunksize``.
 
         Returns
         -------
         CampaignResult
+            Trials appear in the canonical (fault class, location) order
+            regardless of backend.  For stateless detectors and
+            deterministic fault models (the paper's configuration) a
+            parallel run is trial-for-trial identical to a serial one;
+            components that accumulate state across trials (random bit
+            flips, :class:`NormGrowthDetector`) see per-worker history under
+            parallel backends and should be swept with ``backend="serial"``.
         """
+        from repro.exec.executor import CampaignExecutor
+
         if stride <= 0:
             raise ValueError(f"stride must be positive, got {stride}")
         baseline = self.run_failure_free()
@@ -267,14 +346,10 @@ class FaultCampaign:
             failure_free_outer=failure_free_outer,
             failure_free_residual=baseline.residual_norm,
         )
-        total = len(locations) * len(self.fault_classes)
-        done = 0
-        for fault_class, model in self.fault_classes.items():
-            for loc in locations:
-                result.trials.append(self.run_single(fault_class, model, loc))
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+        if executor is None:
+            executor = CampaignExecutor(self, backend=backend, workers=workers,
+                                        chunksize=chunksize)
+        result.trials.extend(executor.run(self.trial_specs(locations), progress=progress))
         return result
 
 
@@ -289,11 +364,14 @@ def sweep_injection_locations(
     outer_tol: float = 1e-8,
     stride: int = 1,
     locations=None,
+    backend: str | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
 ) -> CampaignResult:
     """Functional convenience wrapper around :class:`FaultCampaign`.
 
     Equivalent to constructing a campaign with the given options and calling
-    :meth:`FaultCampaign.run`.
+    :meth:`FaultCampaign.run` (including the parallel-execution knobs).
     """
     campaign = FaultCampaign(
         problem,
@@ -304,4 +382,5 @@ def sweep_injection_locations(
         mgs_position=mgs_position,
         detector=detector,
     )
-    return campaign.run(locations=locations, stride=stride)
+    return campaign.run(locations=locations, stride=stride, backend=backend,
+                        workers=workers, chunksize=chunksize)

@@ -159,8 +159,7 @@ def circuit_problem(n_nodes: int = 25187, seed: int = 20140519,
 def _diagonal_scale(A: CSRMatrix, left: np.ndarray, right: np.ndarray) -> CSRMatrix:
     """Return ``diag(left) @ A @ diag(right)`` without densifying."""
     out = A.copy()
-    row_ids = np.repeat(np.arange(A.shape[0]), np.diff(A.indptr))
-    out.data = A.data * left[row_ids] * right[A.indices]
+    out.data = A.data * left[A.row_ids] * right[A.indices]
     return out
 
 

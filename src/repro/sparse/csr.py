@@ -42,8 +42,20 @@ class CSRMatrix:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
+        # Lazily built structure caches (see _structure / row_ids).  They
+        # depend only on indptr, which is never mutated in place, so they
+        # stay valid for the lifetime of the instance.
+        self._structure_cache: tuple | None = None
+        self._row_ids_cache: np.ndarray | None = None
         if check:
             self._validate()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches (workers rebuild them lazily)."""
+        state = self.__dict__.copy()
+        state["_structure_cache"] = None
+        state["_row_ids_cache"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # construction / validation
@@ -134,6 +146,39 @@ class CSRMatrix:
         """Number of stored entries."""
         return int(self.data.shape[0])
 
+    def _structure(self) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Cached row structure used by every :meth:`matvec`.
+
+        Returns ``(starts, nonempty, all_nonempty)`` where ``starts`` are the
+        ``np.add.reduceat`` segment offsets of the nonempty rows, ``nonempty``
+        is the boolean row mask, and ``all_nonempty`` short-circuits the
+        masked scatter for matrices without empty rows (the common case for
+        the paper's problems).
+        """
+        cache = self._structure_cache
+        if cache is None:
+            row_lengths = np.diff(self.indptr)
+            nonempty = row_lengths > 0
+            all_nonempty = bool(nonempty.all()) if nonempty.size else True
+            starts = self.indptr[:-1] if all_nonempty else self.indptr[:-1][nonempty]
+            cache = self._structure_cache = (starts, nonempty, all_nonempty)
+        return cache
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row index of every stored entry (cached, read-only).
+
+        This is the ``np.repeat`` expansion used by :meth:`rmatvec`,
+        :meth:`tocoo`, :meth:`todense` and the diagonal-scaling helpers.
+        The returned array is marked non-writable; ``copy()`` it to mutate.
+        """
+        if self._row_ids_cache is None:
+            row_ids = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+            row_ids.setflags(write=False)
+            self._row_ids_cache = row_ids
+        return self._row_ids_cache
+
     def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(column_indices, values)`` views of row ``i``."""
         if not 0 <= i < self.shape[0]:
@@ -142,29 +187,30 @@ class CSRMatrix:
         return self.indices[start:stop], self.data[start:stop]
 
     def diagonal(self) -> np.ndarray:
-        """Return the main diagonal as a dense vector (missing entries are 0)."""
+        """Return the main diagonal as a dense vector (missing entries are 0).
+
+        Fully vectorized: diagonal entries are the stored entries whose row
+        and column indices coincide, and duplicates (allowed by the
+        validating constructor) are summed, as before.
+        """
         n = min(self.shape)
-        diag = np.zeros(n, dtype=np.float64)
-        for i in range(n):
-            cols, vals = self.row(i)
-            hits = np.flatnonzero(cols == i)
-            if hits.size:
-                diag[i] = vals[hits].sum()
-        return diag
+        if self.nnz == 0 or n == 0:
+            return np.zeros(n, dtype=np.float64)
+        on_diag = self.row_ids == self.indices
+        return np.bincount(self.row_ids[on_diag].astype(np.int64),
+                           weights=self.data[on_diag], minlength=n)[:n]
 
     def todense(self) -> np.ndarray:
         """Return a dense copy of the matrix."""
         dense = np.zeros(self.shape, dtype=np.float64)
-        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        np.add.at(dense, (row_ids, self.indices), self.data)
+        np.add.at(dense, (self.row_ids, self.indices), self.data)
         return dense
 
     def tocoo(self):
         """Return the matrix in COO format."""
         from repro.sparse.coo import COOMatrix
 
-        row_ids = np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
-        return COOMatrix(self.shape, rows=row_ids, cols=self.indices.copy(),
+        return COOMatrix(self.shape, rows=self.row_ids.copy(), cols=self.indices.copy(),
                          values=self.data.copy())
 
     def copy(self) -> "CSRMatrix":
@@ -187,13 +233,13 @@ class CSRMatrix:
             raise ValueError(
                 f"dimension mismatch: matrix has {self.shape[1]} columns, vector has {x.shape[0]}"
             )
-        y = np.zeros(self.shape[0], dtype=np.float64)
         if self.nnz == 0:
-            return y
+            return np.zeros(self.shape[0], dtype=np.float64)
         products = self.data * x[self.indices]
-        row_lengths = np.diff(self.indptr)
-        nonempty = row_lengths > 0
-        starts = self.indptr[:-1][nonempty]
+        starts, nonempty, all_nonempty = self._structure()
+        if all_nonempty:
+            return np.add.reduceat(products, starts)
+        y = np.zeros(self.shape[0], dtype=np.float64)
         y[nonempty] = np.add.reduceat(products, starts)
         return y
 
@@ -207,8 +253,7 @@ class CSRMatrix:
         y = np.zeros(self.shape[1], dtype=np.float64)
         if self.nnz == 0:
             return y
-        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        np.add.at(y, self.indices, self.data * x[row_ids])
+        np.add.at(y, self.indices, self.data * x[self.row_ids])
         return y
 
     def __matmul__(self, x):

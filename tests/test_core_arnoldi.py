@@ -215,3 +215,65 @@ class TestArnoldiStepEdgeCases:
         assert not breakdown
         assert q_next is not None
         assert not np.all(np.isfinite(q_next))
+
+
+class TestNoHookFastPath:
+    """The zero-overhead branch must be bit-identical to the hooked branch.
+
+    ``arnoldi_step`` skips the injection/detection plumbing entirely when no
+    injector and no detector are attached; these tests pin down that the
+    fast branch performs the exact same floating-point operations as the
+    hooked branch driven with a null context.
+    """
+
+    @pytest.mark.parametrize("orth", ["mgs", "cgs", "cgs2"])
+    def test_bit_identical_to_null_context(self, rng, poisson_medium, orth):
+        from repro.faults.injector import NullInjector
+
+        n = poisson_medium.shape[0]
+        v0 = rng.standard_normal(n)
+        fast_ctx = ArnoldiContext()  # injector=None, detector=None -> fast path
+        hooked_ctx = ArnoldiContext(injector=NullInjector())  # forces hooked path
+        Q_fast, H_fast, bd_fast = arnoldi_process(
+            poisson_medium, v0, 15, orthogonalization=orth, ctx=fast_ctx)
+        Q_hook, H_hook, bd_hook = arnoldi_process(
+            poisson_medium, v0, 15, orthogonalization=orth, ctx=hooked_ctx)
+        assert bd_fast == bd_hook
+        assert np.array_equal(H_fast, H_hook), "h_col values must match bit-for-bit"
+        assert np.array_equal(Q_fast, Q_hook), "q_next values must match bit-for-bit"
+
+    def test_single_step_h_col_and_q_next(self, rng, poisson_small):
+        from repro.faults.injector import NullInjector
+
+        op = aslinearoperator(poisson_small)
+        n = op.shape[0]
+        v0 = rng.standard_normal(n)
+        q0 = v0 / np.linalg.norm(v0)
+        basis_fast = np.zeros((n, 3), order="F")
+        basis_hook = np.zeros((n, 3), order="F")
+        basis_fast[:, 0] = basis_hook[:, 0] = q0
+        h_fast, q_fast, _ = arnoldi_step(op, basis_fast, 0, ArnoldiContext())
+        h_hook, q_hook, _ = arnoldi_step(op, basis_hook, 0,
+                                         ArnoldiContext(injector=NullInjector()))
+        assert np.array_equal(h_fast, h_hook)
+        assert np.array_equal(q_fast, q_hook)
+
+    def test_gmres_identical_with_and_without_hooks(self, poisson_problem_tiny):
+        """End-to-end: the whole solve is unchanged by the fast path."""
+        from repro.core.gmres import gmres
+        from repro.faults.injector import NullInjector
+
+        p = poisson_problem_tiny
+        fast = gmres(p.A, p.b, tol=1e-10, maxiter=80)
+        hooked = gmres(p.A, p.b, tol=1e-10, maxiter=80, injector=NullInjector())
+        assert fast.iterations == hooked.iterations
+        assert fast.residual_norm == hooked.residual_norm
+        assert np.array_equal(fast.x, hooked.x)
+
+    def test_fast_path_skips_event_plumbing(self, rng, poisson_small):
+        """No events, no matvec miscounts on the fast path."""
+        ctx = ArnoldiContext()
+        v0 = rng.standard_normal(poisson_small.shape[0])
+        arnoldi_process(poisson_small, v0, 5, ctx=ctx)
+        assert ctx.matvecs == 5
+        assert len(ctx.events) == 0

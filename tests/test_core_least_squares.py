@@ -155,3 +155,90 @@ class TestProjectedPolicyDispatch:
         R, g = self._well_conditioned(rng)
         with pytest.raises(ValueError, match="beta"):
             solve_projected_lsq(R, g, policy="rank_revealing", H=np.ones((6, 5)))
+
+
+class TestIncrementalGivensQR:
+    """The incremental factorization promised by the module docstring."""
+
+    def _random_hessenberg(self, rng, k):
+        H = np.zeros((k + 1, k))
+        for j in range(k):
+            H[: j + 2, j] = rng.standard_normal(j + 2)
+        return H
+
+    def test_matches_dense_qr(self, rng=np.random.default_rng(77)):
+        from repro.core.least_squares import IncrementalGivensQR
+
+        k, beta = 12, 3.5
+        H = self._random_hessenberg(rng, k)
+        qr = IncrementalGivensQR(k, beta)
+        for j in range(k):
+            qr.add_column(H[: j + 2, j])
+        # R y = g must reproduce the dense least-squares solution.
+        y = solve_triangular(qr.R, qr.g[:k])
+        e1 = np.zeros(k + 1)
+        e1[0] = beta
+        y_ref, *_ = np.linalg.lstsq(H, e1, rcond=None)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-10, atol=1e-12)
+        # |g_{k+1}| is the least-squares residual norm.
+        np.testing.assert_allclose(qr.residual_estimate(),
+                                   np.linalg.norm(H @ y_ref - e1), rtol=1e-10)
+
+    def test_rotations_reused_not_refactored(self, rng=np.random.default_rng(7)):
+        """Adding column k must leave the first k-1 columns of R untouched."""
+        from repro.core.least_squares import IncrementalGivensQR
+
+        k = 8
+        H = self._random_hessenberg(rng, k)
+        qr = IncrementalGivensQR(k, 1.0)
+        for j in range(k - 1):
+            qr.add_column(H[: j + 2, j])
+        before = qr.R.copy()
+        qr.add_column(H[: k + 1, k - 1])
+        np.testing.assert_array_equal(qr.R[: k - 1, : k - 1], before)
+
+    def test_solve_standard_preserves_nonfinite_propagation(self):
+        """A singular R must yield Inf/NaN under STANDARD, exactly as before."""
+        from repro.core.least_squares import IncrementalGivensQR
+
+        qr = IncrementalGivensQR(2, 1.0)
+        qr.add_column(np.array([1.0, 0.0]))          # R = [[1, 1], [0, 0]]
+        qr.add_column(np.array([1.0, 0.0, 0.0]))
+        y, info = qr.solve(policy=LeastSquaresPolicy.STANDARD)
+        assert info["policy"] == "standard"
+        assert not info["finite"]
+        assert not np.all(np.isfinite(y))
+
+    def test_overflow_capacity_guard(self):
+        from repro.core.least_squares import IncrementalGivensQR
+
+        qr = IncrementalGivensQR(1, 1.0)
+        qr.add_column(np.array([1.0, 0.5]))
+        with pytest.raises(RuntimeError):
+            qr.add_column(np.array([1.0, 0.5, 0.25]))
+
+    def test_hessenberg_matrix_delegates(self, rng=np.random.default_rng(5)):
+        """HessenbergMatrix.solve_y must agree with solve_projected_lsq."""
+        from repro.core.hessenberg import HessenbergMatrix
+
+        k, beta = 6, 2.0
+        H = self._random_hessenberg(rng, k)
+        hess = HessenbergMatrix(k, beta)
+        for j in range(k):
+            hess.add_column(H[: j + 2, j])
+        for policy in LeastSquaresPolicy:
+            expected_H = H if policy is not LeastSquaresPolicy.STANDARD else None
+            y_ref, info_ref = solve_projected_lsq(hess.R, hess.g, policy=policy,
+                                                  H=expected_H, beta=beta)
+            y, info = hess.solve_y(policy=policy)
+            np.testing.assert_array_equal(y, y_ref)
+            assert info == info_ref
+
+    def test_wrong_length_column_rejected(self):
+        from repro.core.least_squares import IncrementalGivensQR
+
+        qr = IncrementalGivensQR(3, 1.0)
+        with pytest.raises(ValueError):
+            qr.add_column(np.array([1.0]))              # too short
+        with pytest.raises(ValueError):
+            qr.add_column(np.array([1.0, 0.5, 0.25]))   # too long (silent-truncation guard)

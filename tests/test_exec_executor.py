@@ -1,0 +1,196 @@
+"""Tests for the parallel campaign execution engine (:mod:`repro.exec`).
+
+The engine's central promise: a parallel campaign run is trial-for-trial
+identical to a serial one — same :class:`TrialRecord` values, same order —
+for every backend, worker count, and chunking choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.executor import CampaignExecutor, resolve_backend, resolve_workers
+from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
+from repro.faults.campaign import FaultCampaign
+from repro.gallery.problems import poisson_problem
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    return poisson_problem(grid_n=8)
+
+
+@pytest.fixture(scope="module")
+def campaign(tiny_problem):
+    return FaultCampaign(tiny_problem, inner_iterations=10, max_outer=50,
+                         detector="bound", detector_response="zero")
+
+
+@pytest.fixture(scope="module")
+def serial_result(campaign):
+    return campaign.run(stride=11)
+
+
+class TestWorkerResolution:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_backend_auto_selection(self):
+        assert resolve_backend(None, 1) == "serial"
+        assert resolve_backend(None, 4) == "process"
+        assert resolve_backend("thread", 4) == "thread"
+        with pytest.raises(ValueError):
+            resolve_backend("gpu", 4)
+
+
+class TestCampaignConfig:
+    def test_round_trip(self, campaign):
+        config = campaign.to_config()
+        rebuilt = config.build_campaign()
+        assert rebuilt.inner_iterations == campaign.inner_iterations
+        assert rebuilt.mgs_position == campaign.mgs_position
+        assert rebuilt.detector is not None  # "bound" spec re-resolved
+        assert sorted(rebuilt.fault_classes) == sorted(campaign.fault_classes)
+
+    def test_exactly_one_problem_source(self, tiny_problem):
+        with pytest.raises(ValueError):
+            CampaignConfig(problem=None, problem_factory=None, inner_iterations=10,
+                           max_outer=50, outer_tol=1e-8, fault_classes={},
+                           mgs_position="first", detector=None,
+                           detector_response="zero", site="hessenberg")
+        with pytest.raises(ValueError):
+            CampaignConfig(problem=tiny_problem,
+                           problem_factory=ProblemFactory(poisson_problem, (8,)),
+                           inner_iterations=10, max_outer=50, outer_tol=1e-8,
+                           fault_classes={}, mgs_position="first", detector=None,
+                           detector_response="zero", site="hessenberg")
+
+    def test_problem_factory_build(self):
+        factory = ProblemFactory(poisson_problem, kwargs={"grid_n": 8})
+        config_problem = factory.build()
+        assert config_problem.A.shape == (64, 64)
+
+    def test_picklable(self, campaign):
+        import pickle
+
+        config = campaign.to_config()
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.inner_iterations == config.inner_iterations
+        assert clone.build_campaign().problem.name == campaign.problem.name
+
+
+class TestDeterministicParallelism:
+    """The headline guarantee: parallel output == serial output, in order."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial(self, campaign, serial_result, backend):
+        parallel = campaign.run(stride=11, backend=backend, workers=2)
+        assert parallel.trials == serial_result.trials
+        assert parallel.failure_free_outer == serial_result.failure_free_outer
+        assert parallel.failure_free_residual == serial_result.failure_free_residual
+
+    def test_single_trial_chunks_match_serial(self, campaign, serial_result):
+        """chunksize=1 maximizes reordering opportunities; order must survive."""
+        parallel = campaign.run(stride=11, backend="thread", workers=4, chunksize=1)
+        assert parallel.trials == serial_result.trials
+
+    def test_workers_env_knob_respected(self, campaign, serial_result, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        parallel = campaign.run(stride=11, backend="thread")
+        assert parallel.trials == serial_result.trials
+
+    def test_problem_factory_workers_match_serial(self, campaign, serial_result):
+        """Workers that rebuild the problem locally must agree with serial."""
+        config = campaign.to_config(
+            problem_factory=ProblemFactory(poisson_problem, kwargs={"grid_n": 8}))
+        executor = CampaignExecutor(config, backend="process", workers=2)
+        parallel = campaign.run(stride=11, executor=executor)
+        assert parallel.trials == serial_result.trials
+
+
+class TestExecutorMechanics:
+    def test_progress_reaches_total(self, campaign):
+        calls = []
+        campaign.run(stride=17, backend="thread", workers=2,
+                     progress=lambda done, total: calls.append((done, total)))
+        assert calls, "progress callback never fired"
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)
+        assert calls[-1][0] == calls[-1][1]
+
+    def test_empty_spec_list(self, campaign):
+        executor = CampaignExecutor(campaign)
+        assert executor.run([]) == []
+
+    def test_duplicate_indices_rejected(self, campaign):
+        executor = CampaignExecutor(campaign)
+        specs = [TrialSpec(0, "large", 1), TrialSpec(0, "large", 2)]
+        with pytest.raises(ValueError):
+            executor.run(specs)
+
+    def test_unknown_fault_class(self, campaign):
+        with pytest.raises(KeyError):
+            campaign.run_spec(TrialSpec(0, "no-such-class", 1))
+
+    def test_invalid_chunksize(self, campaign):
+        with pytest.raises(ValueError):
+            CampaignExecutor(campaign, chunksize=0)
+
+    def test_non_campaign_config_rejected(self):
+        with pytest.raises(TypeError):
+            CampaignExecutor(object())
+
+    def test_spec_order_defines_output_order(self, campaign):
+        """Reversed input specs still come back sorted by spec.index."""
+        specs = campaign.trial_specs([1, 26])
+        executor = CampaignExecutor(campaign)
+        forward = executor.run(specs)
+        backward = executor.run(list(reversed(specs)))
+        assert forward == backward
+
+
+class TestWorkerIsolation:
+    def test_built_campaigns_share_no_mutable_state(self, campaign):
+        """Each worker's campaign gets its own detector and fault models."""
+        config = campaign.to_config()
+        one = config.build_campaign()
+        two = config.build_campaign()
+        assert one.detector is not two.detector
+        for cls in one.fault_classes:
+            assert one.fault_classes[cls] is not two.fault_classes[cls]
+
+    def test_custom_solver_params_survive_rebuild(self, tiny_problem):
+        """inner_params/outer_params must reach worker-rebuilt campaigns."""
+        from repro.core.gmres import GMRESParameters
+
+        custom = FaultCampaign(tiny_problem, inner_iterations=10, max_outer=50,
+                               inner_params=GMRESParameters(tol=0.0, maxiter=10,
+                                                            orthogonalization="cgs2"))
+        rebuilt = custom.to_config().build_campaign()
+        assert rebuilt.params.inner.orthogonalization == "cgs2"
+        serial = custom.run(stride=13)
+        parallel = custom.run(stride=13, backend="process", workers=2)
+        assert parallel.trials == serial.trials
+
+    def test_trial_specs_accepts_iterator(self, campaign):
+        """A generator of locations must sweep every fault class."""
+        from_list = campaign.trial_specs([1, 12])
+        from_iter = campaign.trial_specs(iter([1, 12]))
+        assert from_iter == from_list
+        assert len(from_iter) == 2 * len(campaign.fault_classes)

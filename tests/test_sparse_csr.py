@@ -180,3 +180,59 @@ class TestStructuralQueries:
         # The pure-Python fallback should agree with the scipy-based path.
         n = poisson_small.shape[0]
         assert poisson_small._structural_rank_fallback() == n
+
+
+class TestStructureCaches:
+    """The cached kernels (matvec structure, row_ids, vectorized diagonal)."""
+
+    def test_diagonal_sums_duplicates(self):
+        # The validating constructor allows duplicate (i, i) entries; they
+        # must be summed, exactly as the old per-row loop did.
+        m = CSRMatrix((2, 2), indptr=[0, 2, 3], indices=[0, 0, 1],
+                      data=[1.5, 2.5, 7.0])
+        np.testing.assert_allclose(m.diagonal(), [4.0, 7.0])
+
+    def test_diagonal_rectangular(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.diagonal(), [1.0, 3.0])
+        np.testing.assert_allclose(m.transpose().diagonal(), [1.0, 3.0])
+
+    def test_diagonal_empty(self):
+        m = CSRMatrix((3, 3), indptr=[0, 0, 0, 0], indices=[], data=[])
+        np.testing.assert_allclose(m.diagonal(), np.zeros(3))
+
+    def test_matvec_cache_with_empty_rows(self, rng):
+        dense = np.array([[1.0, 2.0, 0.0],
+                          [0.0, 0.0, 0.0],
+                          [0.0, 0.0, 3.0]])
+        m = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(3)
+        expected = dense @ x
+        np.testing.assert_allclose(m.matvec(x), expected)
+        # Second call exercises the cached structure.
+        np.testing.assert_allclose(m.matvec(x), expected)
+
+    def test_matvec_repeat_consistency(self, poisson_small, rng):
+        x = rng.standard_normal(poisson_small.shape[1])
+        first = poisson_small.matvec(x)
+        second = poisson_small.matvec(x)
+        assert first is not second
+        np.testing.assert_array_equal(first, second)
+
+    def test_row_ids_matches_repeat(self, poisson_small):
+        expected = np.repeat(np.arange(poisson_small.shape[0]),
+                             np.diff(poisson_small.indptr))
+        np.testing.assert_array_equal(poisson_small.row_ids, expected)
+
+    def test_pickle_drops_caches(self, poisson_small, rng):
+        import pickle
+
+        x = rng.standard_normal(poisson_small.shape[1])
+        baseline = poisson_small.matvec(x)
+        poisson_small.row_ids  # populate caches
+        clone = pickle.loads(pickle.dumps(poisson_small))
+        assert clone._structure_cache is None
+        assert clone._row_ids_cache is None
+        np.testing.assert_array_equal(clone.matvec(x), baseline)
+        np.testing.assert_allclose(clone.todense(), poisson_small.todense())
