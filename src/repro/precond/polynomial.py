@@ -51,8 +51,15 @@ class NeumannPolynomialPreconditioner(Preconditioner):
             raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
         # z_0 = D^{-1} r;  z_{k+1} = z_k + N z_k with N = I - D^{-1} A
         z = self._inv_diag * r
+        if self.degree == 0:
+            return z
         term = z.copy()
         for _ in range(self.degree):
-            term = term - self._inv_diag * self.A.matvec(term)
-            z = z + term
+            # Allocation-free update: the SpMV result doubles as scratch, so
+            # the loop performs no temporaries beyond it (same floating-point
+            # operations as the expression form, asserted in the tests).
+            Av = self.A.matvec(term)
+            np.multiply(Av, self._inv_diag, out=Av)
+            np.subtract(term, Av, out=term)
+            np.add(z, term, out=z)
         return z

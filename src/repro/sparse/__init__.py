@@ -9,6 +9,8 @@ subpackage rebuilds the pieces the algorithms actually need, from scratch:
 * :class:`~repro.sparse.linear_operator.LinearOperator` — the abstraction the
   Krylov solvers are written against, so dense arrays, our CSR matrices,
   ``scipy.sparse`` matrices, and matrix-free callables are all accepted.
+* :class:`~repro.sparse.trisolve.TriangularFactor` — level-scheduled sparse
+  triangular solves (the kernel behind the stationary/ILU preconditioners).
 * Norm computations (:mod:`repro.sparse.norms`) used by the SDC detector
   bound ``|h_ij| <= ||A||_2 <= ||A||_F``.
 * Matrix-Market I/O (:mod:`repro.sparse.mmio`) so external matrices (e.g. the
@@ -26,11 +28,14 @@ from repro.sparse.norms import (
     hessenberg_bound,
 )
 from repro.sparse.ops import spmv, spmv_transpose, sparse_add, sparse_scale, extract_diagonal
+from repro.sparse.trisolve import TriangularFactor, split_triangle
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
 
 __all__ = [
     "COOMatrix",
     "CSRMatrix",
+    "TriangularFactor",
+    "split_triangle",
     "LinearOperator",
     "MatrixFreeOperator",
     "aslinearoperator",

@@ -30,10 +30,10 @@ class CSRMatrix:
 
     Notes
     -----
-    Column indices within a row are kept sorted and duplicate-free; the
-    canonical constructor :meth:`from_coo` enforces this, and the validating
-    ``__init__`` checks the invariants so property-based tests can build CSR
-    matrices directly.
+    Column indices within a row are kept sorted (the validating ``__init__``
+    enforces this so property-based tests can build CSR matrices directly).
+    Duplicate ``(row, col)`` entries are legal — reductions sum them; the
+    canonical constructor :meth:`from_coo` additionally collapses duplicates.
     """
 
     def __init__(self, shape, indptr, indices, data, *, check: bool = True):
@@ -77,6 +77,14 @@ class CSRMatrix:
         if self.indices.size:
             if self.indices.min() < 0 or self.indices.max() >= ncols:
                 raise IndexError("column index out of bounds")
+            # Column order within each row must be non-decreasing: the
+            # triangular-solve layer and ILU(0) rely on the lower|diag|upper
+            # layout of sorted rows, and an unsorted row would silently
+            # produce wrong factors rather than an error.  (Duplicates stay
+            # allowed; reductions sum them.)
+            within_row = self.row_ids[1:] == self.row_ids[:-1]
+            if np.any(np.diff(self.indices)[within_row] < 0):
+                raise ValueError("column indices must be sorted within each row")
 
     @classmethod
     def from_coo(cls, coo) -> "CSRMatrix":

@@ -152,3 +152,37 @@ class TestParameters:
         b = rng.standard_normal(poisson_medium.shape[0])
         result = fgmres(poisson_medium, b, tol=1e-8, max_outer=300, orthogonalization=orth)
         assert result.converged
+
+
+class TestNoDetectorFastPath:
+    """With ``detector=None`` the outer orthogonalization skips the
+    per-coefficient screening hooks entirely; the fast branch must be
+    bit-for-bit identical to the hooked branch with a never-firing detector
+    (mirror of the no-hook Arnoldi branch of plain GMRES)."""
+
+    @pytest.mark.parametrize("orth", ["mgs", "cgs", "cgs2"])
+    def test_bit_identical_to_never_firing_detector(self, poisson_medium, rng, orth):
+        from repro.core.detectors import NullDetector
+        from repro.precond.ssor import SSORPreconditioner
+
+        b = rng.standard_normal(poisson_medium.shape[0])
+        ssor = SSORPreconditioner(poisson_medium)
+        inner = lambda q, j: ssor.apply(q)  # noqa: E731
+        fast = fgmres(poisson_medium, b, inner_solver=inner, tol=1e-9,
+                      max_outer=200, orthogonalization=orth, detector=None)
+        hooked = fgmres(poisson_medium, b, inner_solver=inner, tol=1e-9,
+                        max_outer=200, orthogonalization=orth, detector=NullDetector())
+        assert fast.converged and hooked.converged
+        assert fast.iterations == hooked.iterations
+        np.testing.assert_array_equal(fast.x, hooked.x)
+        np.testing.assert_array_equal(fast.history.as_array(), hooked.history.as_array())
+
+    def test_detector_still_screens_when_attached(self, poisson_medium, rng):
+        """Sanity: the slow branch still consults the detector."""
+        from repro.core.detectors import HessenbergBoundDetector
+
+        b = rng.standard_normal(poisson_medium.shape[0])
+        # An absurdly small bound flags every coefficient.
+        result = fgmres(poisson_medium, b, tol=1e-9, max_outer=5,
+                        detector=HessenbergBoundDetector(1e-30), detector_response="flag")
+        assert result.events.of_kind("fault_detected")

@@ -159,6 +159,68 @@ class TestILU0:
         assert approx_residual < 0.5 * np.linalg.norm(r)
 
 
+class TestTrisolvePaths:
+    """The level-scheduled and row-sequential engine paths are interchangeable."""
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (GaussSeidelPreconditioner, {}),
+        (SSORPreconditioner, {"omega": 1.2}),
+        (ILU0Preconditioner, {}),
+    ])
+    def test_apply_bit_identical_across_paths(self, poisson_medium, nonsym_small, rng,
+                                              cls, kwargs):
+        for A in (poisson_medium, nonsym_small):
+            fast = cls(A, trisolve_mode="level", **kwargs)
+            slow = cls(A, trisolve_mode="sequential", **kwargs)
+            r = rng.standard_normal(A.shape[0])
+            np.testing.assert_array_equal(fast.apply(r), slow.apply(r))
+
+    @pytest.mark.parametrize("cls", [GaussSeidelPreconditioner, SSORPreconditioner,
+                                     ILU0Preconditioner])
+    def test_gmres_history_unchanged_across_paths(self, poisson_medium, rng, cls):
+        """Preconditioned GMRES convergence histories do not depend on which
+        engine path the preconditioner solves through."""
+        b = rng.standard_normal(poisson_medium.shape[0])
+        res_level = gmres(poisson_medium, b, tol=1e-8, maxiter=300,
+                          preconditioner=cls(poisson_medium, trisolve_mode="level"))
+        res_seq = gmres(poisson_medium, b, tol=1e-8, maxiter=300,
+                        preconditioner=cls(poisson_medium, trisolve_mode="sequential"))
+        assert res_level.converged and res_seq.converged
+        assert res_level.iterations == res_seq.iterations
+        np.testing.assert_array_equal(res_level.history.as_array(),
+                                      res_seq.history.as_array())
+        np.testing.assert_array_equal(res_level.x, res_seq.x)
+
+    def test_fgmres_history_unchanged_across_paths(self, poisson_medium, rng):
+        from repro.core.fgmres import fgmres
+
+        b = rng.standard_normal(poisson_medium.shape[0])
+        results = []
+        for mode in ("level", "sequential"):
+            ilu = ILU0Preconditioner(poisson_medium, trisolve_mode=mode)
+            results.append(fgmres(poisson_medium, b,
+                                  inner_solver=lambda q, j: ilu.apply(q),
+                                  tol=1e-9, max_outer=100))
+        level, seq = results
+        assert level.converged and seq.converged
+        assert level.iterations == seq.iterations
+        np.testing.assert_array_equal(level.history.as_array(),
+                                      seq.history.as_array())
+        np.testing.assert_array_equal(level.x, seq.x)
+
+    def test_invalid_mode_rejected(self, poisson_small):
+        with pytest.raises(ValueError):
+            GaussSeidelPreconditioner(poisson_small, trisolve_mode="banana")
+
+    def test_factors_built_once_in_init(self, poisson_small):
+        """Applies reuse the factors built at construction (no re-splitting)."""
+        m = SSORPreconditioner(poisson_small)
+        fwd, bwd = m._forward, m._backward
+        m.apply(np.ones(poisson_small.shape[0]))
+        assert m._forward is fwd and m._backward is bwd
+        assert fwd.lower and not bwd.lower
+
+
 class TestNeumannPolynomial:
     def test_degree_zero_is_jacobi(self, diag_dom_small, rng):
         r = rng.standard_normal(diag_dom_small.shape[0])
@@ -178,6 +240,20 @@ class TestNeumannPolynomial:
     def test_negative_degree_rejected(self, poisson_small):
         with pytest.raises(ValueError):
             NeumannPolynomialPreconditioner(poisson_small, degree=-1)
+
+    @pytest.mark.parametrize("degree", [0, 1, 3, 6])
+    def test_in_place_loop_matches_expression_form(self, diag_dom_small, rng, degree):
+        """The allocation-free degree loop is bit-identical to the naive
+        temporary-per-step formulation it replaced."""
+        m = NeumannPolynomialPreconditioner(diag_dom_small, degree=degree)
+        r = rng.standard_normal(diag_dom_small.shape[0])
+
+        z = m._inv_diag * r
+        term = z.copy()
+        for _ in range(degree):
+            term = term - m._inv_diag * m.A.matvec(term)
+            z = z + term
+        np.testing.assert_array_equal(m.apply(r), z)
 
     def test_length_validated(self, poisson_small):
         m = NeumannPolynomialPreconditioner(poisson_small, degree=1)

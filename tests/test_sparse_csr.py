@@ -30,6 +30,19 @@ class TestConstructionValidation:
         with pytest.raises(IndexError):
             CSRMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 1.0])
 
+    def test_unsorted_row_rejected(self):
+        # The triangular-solve layer and ILU(0) rely on the lower|diag|upper
+        # layout of sorted rows; an unsorted row must fail loudly instead of
+        # silently producing wrong factors.
+        with pytest.raises(ValueError, match="sorted within each row"):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1, 0], [2.0, 3.0, 1.0])
+
+    def test_duplicate_columns_still_allowed(self):
+        # Duplicates are part of the validated surface (reductions sum them)
+        # and are non-decreasing, so the sortedness check keeps passing them.
+        m = CSRMatrix((2, 2), [0, 2, 3], [0, 0, 1], [1.5, 2.5, 7.0])
+        assert m.nnz == 3
+
     def test_data_index_mismatch(self):
         with pytest.raises(ValueError, match="same length"):
             CSRMatrix((2, 2), [0, 1, 2], [0, 1], [1.0])
