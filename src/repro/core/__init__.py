@@ -37,6 +37,13 @@ from repro.core.detectors import (
 from repro.core.gmres import gmres, GMRESParameters
 from repro.core.fgmres import fgmres, FGMRESParameters
 from repro.core.ftgmres import ft_gmres, FTGMRESParameters
+from repro.core.batched import (
+    BatchedArnoldi,
+    BatchedGivensQR,
+    BatchedTrialSetup,
+    batched_ft_gmres,
+    batched_support_reason,
+)
 
 __all__ = [
     "SolverStatus",
@@ -66,4 +73,9 @@ __all__ = [
     "FGMRESParameters",
     "ft_gmres",
     "FTGMRESParameters",
+    "BatchedArnoldi",
+    "BatchedGivensQR",
+    "BatchedTrialSetup",
+    "batched_ft_gmres",
+    "batched_support_reason",
 ]

@@ -1,0 +1,1042 @@
+"""Trial-batched lockstep execution of nested FT-GMRES fault campaigns.
+
+A fault campaign is hundreds of *independent* nested FT-GMRES solves over the
+same ``(A, b, x0)`` that differ only in where a single SDC event strikes.
+Running them one at a time spends most of its wall time in per-trial Python
+and BLAS-1 dispatch overhead: every Arnoldi coefficient is one ``np.dot`` on
+one vector, every triangular-solve level touches the sparse index arrays for
+one right-hand side.  This module advances ``B`` trials side by side through
+*block* kernels instead:
+
+* the SpMV becomes one :meth:`CSRMatrix.matmat` over an ``(n, B)`` slab,
+* each Modified Gram–Schmidt coefficient becomes one ``einsum`` producing all
+  ``B`` coefficients at once,
+* the incremental Givens QR keeps ``B`` rotation sequences in lockstep
+  (:class:`BatchedGivensQR`),
+* preconditioners apply through their block kernels
+  (``Preconditioner.apply_block``), paying the sparse index traffic once per
+  level instead of once per level per trial.
+
+Fault injection stays *per trial*: at the one aggregate inner iteration where
+a trial's schedule can fire, the real :class:`~repro.faults.injector.FaultInjector`
+is consulted for that trial's coefficient only, so injection records and event
+streams are produced by the same code path as the serial engine.  Detector
+screening is vectorized with an exact mirror of the
+:class:`~repro.core.detectors.HessenbergBoundDetector` predicate; the (rare)
+flagged coefficients take the scalar detector path so event payloads match.
+
+Equivalence contract (asserted by the test suite and the campaign benchmark):
+per-trial iteration counts, statuses and event streams are identical to the
+serial backend, and residual histories agree to ~1e-10 (bit-identical where
+the reduction order matches — the sparse and triangular block kernels reduce
+in exactly the serial order; the batched MGS dot products and norms reduce in
+a different but equally valid order).
+
+Trials whose control flow leaves the lockstep common path — happy breakdown,
+early convergence inside an inner solve, the outer breakdown trichotomy —
+are *peeled* out of the batch and reported as unsolved; the campaign layer
+reruns exactly those trials through the serial reference implementation.
+Correctness therefore never depends on the batched engine reproducing the
+rare paths: the fallback *is* the reference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.arnoldi import HAPPY_BREAKDOWN_TOL, VALID_RESPONSES
+from repro.core.detectors import HessenbergBoundDetector
+from repro.core.exceptions import FaultDetectedError
+from repro.core.fgmres import BREAKDOWN_TOL
+from repro.core.ftgmres import FTGMRESParameters
+from repro.core.least_squares import LeastSquaresPolicy, solve_projected_lsq
+from repro.core.status import (
+    ConvergenceHistory,
+    NestedSolverResult,
+    SolverResult,
+    SolverStatus,
+)
+from repro.precond.base import Preconditioner
+from repro.sparse.linear_operator import LinearOperator, aslinearoperator
+from repro.utils.events import EventLog
+
+__all__ = [
+    "BatchedGivensQR",
+    "BatchedArnoldi",
+    "BatchedTrialSetup",
+    "batched_support_reason",
+    "batched_ft_gmres",
+]
+
+#: Floating-point traps silenced around the lockstep kernels.  The serial
+#: solvers produce the same Inf/NaN values through BLAS calls that do not
+#: warn; the batched ufunc formulation would otherwise emit RuntimeWarnings
+#: for the identical (intentional) non-finite data flow of faulted trials.
+_ERRSTATE = {"over": "ignore", "invalid": "ignore",
+             "divide": "ignore", "under": "ignore"}
+
+#: Relative half-width of the guard band around convergence targets.  A
+#: residual estimate this close to its target sits on a decision cusp where
+#: the ~1-ulp gap between the batched (einsum) and serial (BLAS dot)
+#: reduction orders could flip the convergence iteration; such lanes are
+#: peeled to the serial engine so iteration counts stay *identical*, not
+#: just within tolerance.  Ordinary convergence crosses the target by
+#: orders of magnitude per iteration, so the band essentially never fires.
+TARGET_GUARD_BAND = 1e-9
+
+#: Injected coefficients larger than this factor times the problem scale
+#: make the trial numerically *chaotic*: the huge component must cancel in
+#: the orthogonalization, so the ~1e-16 relative difference between the
+#: batched and the serial reduction order is amplified to an absolute error
+#: of ``|h| * 1e-16`` — beyond the engine's 1e-10 equivalence contract once
+#: ``|h|`` passes ~1e6x the benign coefficient scale.  Such lanes are peeled
+#: to the serial reference engine at injection time.  (With the paper's
+#: detector and a filtering response the huge value is zeroed before it can
+#: propagate, so detector-on campaigns stay fully batched.)
+CHAOS_FACTOR = 1e6
+
+
+def _row_norms(X: np.ndarray) -> np.ndarray:
+    """2-norm of every lane row of ``X`` in one pass (matches serial to rounding)."""
+    return np.sqrt(np.einsum("bn,bn->b", X, X))
+
+
+def _batched_givens(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized twin of :func:`repro.core.least_squares.givens_rotation`.
+
+    Every branch performs the same scalar IEEE-754 operations as the scalar
+    routine, in the same precedence order (``b == 0`` first, then ``a == 0``,
+    then the non-finite guard), so each lane is bit-identical to the scalar
+    result for the same inputs.
+    """
+    c = np.ones_like(a)
+    s = np.zeros_like(a)
+    b_zero = b == 0.0
+    a_zero = (a == 0.0) & ~b_zero
+    nonfinite = ~(np.isfinite(a) & np.isfinite(b)) & ~b_zero & ~a_zero
+    general = ~(b_zero | a_zero | nonfinite)
+    c[a_zero] = 0.0
+    s[a_zero] = 1.0
+    c[nonfinite] = np.nan
+    s[nonfinite] = np.nan
+    big_b = general & (np.abs(b) > np.abs(a))
+    big_a = general & ~big_b
+    if big_b.any():
+        t = a[big_b] / b[big_b]
+        sv = 1.0 / np.sqrt(1.0 + t * t)
+        c[big_b] = sv * t
+        s[big_b] = sv
+    if big_a.any():
+        t = b[big_a] / a[big_a]
+        cv = 1.0 / np.sqrt(1.0 + t * t)
+        c[big_a] = cv
+        s[big_a] = cv * t
+    return c, s
+
+
+class BatchedGivensQR:
+    """``B`` incremental Givens QR factorizations advanced in lockstep.
+
+    The scalar :class:`~repro.core.least_squares.IncrementalGivensQR` rotates
+    one growing Hessenberg column per iteration with Python-float arithmetic;
+    this twin keeps the rotation state ``(cs, sn, R, g)`` as ``(m, B)`` /
+    ``(m+1, m, B)`` arrays and applies every recurrence step to all ``B``
+    lanes at once.  Lane ``t`` performs the same sequence of IEEE-754
+    operations as a scalar factorization fed column ``t``.
+
+    Parameters
+    ----------
+    max_columns : int
+        Maximum number of columns (the restart length).
+    beta : numpy.ndarray
+        Per-lane initial residual norms; the right-hand side of lane ``t``
+        is ``beta[t] * e_1``.
+    """
+
+    def __init__(self, max_columns: int, beta: np.ndarray):
+        if max_columns <= 0:
+            raise ValueError(f"max_columns must be positive, got {max_columns}")
+        beta = np.asarray(beta, dtype=np.float64).ravel()
+        m = int(max_columns)
+        lanes = beta.shape[0]
+        self.max_columns = m
+        self.lanes = lanes
+        self.k = 0
+        self._R = np.zeros((m + 1, m, lanes), dtype=np.float64)
+        self._g = np.zeros((m + 1, lanes), dtype=np.float64)
+        self._g[0] = beta
+        self._cs = np.zeros((m, lanes), dtype=np.float64)
+        self._sn = np.zeros((m, lanes), dtype=np.float64)
+        self.beta = beta.copy()
+
+    def add_column(self, column: np.ndarray) -> np.ndarray:
+        """Rotate a new ``(k+2, B)`` Hessenberg column block into all lanes.
+
+        Returns the per-lane residual estimates ``|g_{k+1}|``.
+        """
+        j = self.k
+        if j >= self.max_columns:
+            raise RuntimeError("BatchedGivensQR is full; increase max_columns")
+        r = np.array(column, dtype=np.float64)
+        if r.shape != (j + 2, self.lanes):
+            raise ValueError(
+                f"column {j} must have shape {(j + 2, self.lanes)}, got {r.shape}")
+        cs, sn = self._cs, self._sn
+        with np.errstate(**_ERRSTATE):
+            for i in range(j):
+                c, s = cs[i], sn[i]
+                r_i = r[i].copy()
+                r_i1 = r[i + 1]
+                r[i] = c * r_i + s * r_i1
+                r[i + 1] = -s * r_i + c * r_i1
+            c, s = _batched_givens(r[j], r[j + 1])
+            cs[j] = c
+            sn[j] = s
+            r[j] = c * r[j] + s * r[j + 1]
+            r[j + 1] = 0.0
+            self._R[: j + 2, j] = r
+            g_j = self._g[j].copy()
+            self._g[j] = c * g_j
+            self._g[j + 1] = -s * g_j
+        self.k = j + 1
+        return np.abs(self._g[j + 1])
+
+    # ------------------------------------------------------------------ #
+    def lane_R(self, lane: int, k: int | None = None) -> np.ndarray:
+        """The ``k x k`` triangular factor of one lane (a copy-free view)."""
+        k = self.k if k is None else k
+        return self._R[:k, :k, lane]
+
+    def lane_g(self, lane: int, k: int | None = None) -> np.ndarray:
+        """The rotated right-hand side of one lane, length ``k+1``."""
+        k = self.k if k is None else k
+        return self._g[: k + 1, lane]
+
+    def residual_estimates(self) -> np.ndarray:
+        """Per-lane ``|g_{k+1}|`` — the monotone GMRES residual estimates."""
+        return np.abs(self._g[self.k])
+
+    def solve_standard(self) -> np.ndarray:
+        """Back-substitute ``R y = g`` in every lane simultaneously.
+
+        The lockstep twin of :func:`repro.core.least_squares.solve_triangular`
+        (the STANDARD policy): no singularity handling, Inf/NaN propagate —
+        the paper's policy 1 relies on IEEE-754 to surface corrupt systems.
+        """
+        k = self.k
+        y = np.zeros((k, self.lanes), dtype=np.float64)
+        R, g = self._R, self._g
+        with np.errstate(**_ERRSTATE):
+            for i in range(k - 1, -1, -1):
+                acc = g[i] - np.einsum("jb,jb->b", R[i, i + 1: k], y[i + 1: k])
+                y[i] = acc / R[i, i]
+        return y
+
+
+class BatchedArnoldi:
+    """The Arnoldi process over ``B`` side-by-side Krylov bases.
+
+    One instance owns the basis block of a single restart cycle, stored
+    lanes-major (``(m+1, B, n)``) so each lane's vector is one contiguous
+    row: the per-lane SpMVs read and write contiguous memory and the
+    lockstep Modified Gram–Schmidt reduces along the fast axis.
+    :meth:`step` applies the operator to every active lane and
+    orthogonalizes the results together.  A per-coefficient hook lets the
+    campaign driver inject faults into individual lanes and screen
+    coefficients with a detector — the batched counterparts of the named
+    injection sites of :func:`repro.core.arnoldi.arnoldi_step`.
+
+    Parameters
+    ----------
+    matvec : callable
+        Operator application for one lane (``(n,)`` to ``(n,)``) — the exact
+        serial kernel, so each lane's SpMV is bit-identical to a serial run.
+    r0 : numpy.ndarray
+        Initial residual block, lanes-major ``(B, n)``; row ``t`` seeds lane
+        ``t``.
+    beta : numpy.ndarray
+        Per-lane norms of ``r0`` (the caller computed them already).
+    m : int
+        Number of Arnoldi steps the basis must accommodate.
+    precond_block : callable, optional
+        Right preconditioner block application mapping ``(n, B)`` to
+        ``(n, B)``; when given the operator applied is ``A M^{-1}``,
+        matching the serial solver.
+    """
+
+    def __init__(self, matvec, r0: np.ndarray, beta: np.ndarray, m: int,
+                 precond_block=None):
+        lanes, n = r0.shape
+        self.n = n
+        self.lanes = lanes
+        self.m = int(m)
+        self._matvec = matvec
+        self._precond_block = precond_block
+        self.basis = np.zeros((self.m + 1, lanes, n), dtype=np.float64)
+        with np.errstate(**_ERRSTATE):
+            self.basis[0] = r0 / beta[:, None]
+        self._scratch = np.empty((lanes, n), dtype=np.float64)
+
+    def step(self, j: int, coefficient_hook=None, spmv_hook=None,
+             active: np.ndarray | None = None):
+        """Perform lockstep Arnoldi step ``j`` for every (active) lane.
+
+        Parameters
+        ----------
+        j : int
+            Step index (0-based); orthogonalizes ``A @ basis[j]``.
+        coefficient_hook : callable, optional
+            ``hook(kind, index, values)`` called once per orthogonalization
+            coefficient row with ``kind="hessenberg"``/``index=i`` and once
+            for the subdiagonal norms with ``kind="subdiag"``/``index=j+1``.
+            Receives the freshly computed per-lane values (a ``(B,)`` array
+            it may modify in place, e.g. to inject a fault into one lane or
+            zero a detector-flagged lane) and returns the values to use.
+        spmv_hook : callable, optional
+            ``hook(j, V)`` called with the raw lanes-major operator
+            application before orthogonalization — the batched counterpart
+            of the serial ``spmv`` detector site (and called in the same
+            order relative to the coefficient events).
+        active : numpy.ndarray, optional
+            Boolean lane mask; the SpMV is skipped for inactive lanes
+            (their rows stay zero and the caller ignores them).
+
+        Returns
+        -------
+        h_block : numpy.ndarray
+            The ``(j+2, B)`` Hessenberg column block (post-hook values).
+        """
+        with np.errstate(**_ERRSTATE):
+            rows = self.basis[j]
+            lanes = (np.arange(self.lanes) if active is None
+                     else np.flatnonzero(active))
+            V = np.zeros((self.lanes, self.n), dtype=np.float64)
+            if self._precond_block is None:
+                for b in lanes:
+                    V[b] = self._matvec(rows[b])
+            else:
+                # The preconditioner (the engine's heaviest per-lane kernel
+                # after the SpMV) is applied to the active lanes only.
+                Z = np.ascontiguousarray(
+                    self._precond_block(rows[lanes].T).T)
+                for pos, b in enumerate(lanes):
+                    V[b] = self._matvec(Z[pos])
+            if spmv_hook is not None:
+                spmv_hook(j, V)
+            W = V
+            h_block = np.zeros((j + 2, self.lanes), dtype=np.float64)
+            scratch = self._scratch
+            for i in range(j + 1):
+                q_i = self.basis[i]
+                h = np.einsum("bn,bn->b", q_i, W)
+                if coefficient_hook is not None:
+                    h = coefficient_hook("hessenberg", i, h)
+                h_block[i] = h
+                np.multiply(q_i, h[:, None], out=scratch)
+                np.subtract(W, scratch, out=W)
+            norm_v = np.sqrt(np.einsum("bn,bn->b", W, W))
+            if coefficient_hook is not None:
+                norm_v = coefficient_hook("subdiag", j + 1, norm_v)
+            h_block[j + 1] = norm_v
+            # New basis block: lanes with a non-finite norm get the serial
+            # engine's poisoned NaN column (arnoldi_step's "not a breakdown"
+            # branch); finite-norm lanes are normalized as usual.  Breakdown
+            # lanes (tiny finite norm) are the caller's business — it peels
+            # them before the next step, so their rows are never read.
+            finite = np.isfinite(norm_v)
+            q_next = np.divide(W, norm_v[:, None], out=W)
+            if not finite.all():
+                q_next[~finite, :] = np.nan
+            self.basis[j + 1] = q_next
+        return h_block
+
+    def zero_lanes(self, j: int, lanes: np.ndarray) -> None:
+        """Zero basis row ``j`` of the given lanes (masked-out trials)."""
+        if lanes.size:
+            self.basis[j][lanes, :] = 0.0
+
+    def update_block(self, Y: np.ndarray) -> np.ndarray:
+        """Form the solution updates ``basis[:, :k] @ y`` for every lane.
+
+        ``Y`` has shape ``(k, B)``; the result is the lanes-major ``(B, n)``
+        block of per-lane GMRES solution updates.
+        """
+        k = Y.shape[0]
+        out = np.zeros((self.lanes, self.n), dtype=np.float64)
+        with np.errstate(**_ERRSTATE):
+            for jj in range(k):
+                np.multiply(self.basis[jj], Y[jj][:, None], out=self._scratch)
+                np.add(out, self._scratch, out=out)
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# campaign-facing driver
+# ---------------------------------------------------------------------- #
+@dataclass
+class BatchedTrialSetup:
+    """Per-trial wiring for a batched nested solve.
+
+    Attributes
+    ----------
+    injector : object
+        The trial's :class:`~repro.faults.injector.FaultInjector` (or any
+        object with ``corrupt_scalar``).  Consulted through the same
+        protocol the serial solvers use, so its records are authoritative.
+    hessenberg_target : int or None
+        The aggregate inner iteration at which the injector's schedule can
+        fire on the ``hessenberg`` site, or ``None`` when the schedule has no
+        aggregate pin (the injector is then consulted at every coefficient,
+        exactly like the serial hooked path).
+    """
+
+    injector: object
+    hessenberg_target: int | None = None
+
+
+def batched_support_reason(params: FTGMRESParameters, site: str = "hessenberg"
+                           ) -> str | None:
+    """Why a campaign configuration cannot run on the lockstep engine.
+
+    Returns ``None`` when the configuration is supported, otherwise a
+    human-readable reason.  The supported space is the paper's experiment
+    space: MGS orthogonalization inside and out, injection on the
+    ``hessenberg`` site, an inner detector that is either absent or the
+    paper's :class:`HessenbergBoundDetector` (any response except ``raise``),
+    and no outer detector.  Anything else belongs on the serial backend.
+    """
+    if site != "hessenberg":
+        return (f"injection site {site!r} is not lockstep-vectorizable "
+                "(only 'hessenberg' is)")
+    inner, outer = params.inner, params.outer
+    if inner.orthogonalization != "mgs":
+        return f"inner orthogonalization {inner.orthogonalization!r} (only 'mgs')"
+    if outer.orthogonalization != "mgs":
+        return f"outer orthogonalization {outer.orthogonalization!r} (only 'mgs')"
+    if outer.detector is not None:
+        return "outer detectors are not supported by the batched engine"
+    det = inner.detector
+    if det is not None:
+        if isinstance(det, str):
+            return "string detector specs must be resolved before batching"
+        if not isinstance(det, HessenbergBoundDetector):
+            return (f"inner detector {type(det).__name__} is not vectorizable "
+                    "(only HessenbergBoundDetector)")
+        if inner.detector_response == "raise":
+            return "detector_response='raise' aborts mid-batch; use the serial backend"
+        if inner.detector_response not in VALID_RESPONSES:
+            return f"unknown detector_response {inner.detector_response!r}"
+    if inner.preconditioner is not None and not (
+            isinstance(inner.preconditioner, Preconditioner)
+            or callable(inner.preconditioner)
+            or hasattr(inner.preconditioner, "shape")):
+        return "inner preconditioner is not block-applicable"
+    return None
+
+
+def _resolve_block_preconditioner(precond, n: int):
+    """A block-apply callable for whatever the inner solver accepts, or None."""
+    if precond is None:
+        return None
+    if isinstance(precond, Preconditioner):
+        return precond.apply_block
+    if callable(precond):
+        def column_loop(X, _apply=precond):
+            Z = np.empty_like(X)
+            for j in range(X.shape[1]):
+                Z[:, j] = _apply(X[:, j])
+            return Z
+        return column_loop
+    op = aslinearoperator(precond)
+    if op.shape != (n, n):
+        raise ValueError(f"preconditioner shape {op.shape} does not match system size {n}")
+    return op.matmat
+
+
+def _detector_flags(det: HessenbergBoundDetector, values: np.ndarray) -> np.ndarray:
+    """Conservative vectorized prefilter for ``HessenbergBoundDetector``.
+
+    Deliberately *wider* than the scalar predicate (a relative guard band
+    below the bound): every value the prefilter passes goes through the real
+    ``check_scalar``/``check_vector``, whose verdict is authoritative, so
+    widening only costs a scalar re-check — whereas a prefilter that rounds
+    the other way at the bound cusp would silently miss a detection the
+    serial engine records.
+    """
+    flagged = np.abs(values) > det.effective_bound * (1.0 - 1e-12)
+    if det.check_nonfinite:
+        flagged |= ~np.isfinite(values)
+    return flagged
+
+
+def _clone_result(result: SolverResult) -> SolverResult:
+    """An independent copy of a shared-prefix inner result for one lane.
+
+    Serial campaigns build one result object per trial; virgin lanes riding
+    the shared prefix column must not alias each other's mutable pieces.
+    """
+    history = ConvergenceHistory()
+    history.residual_norms = list(result.history.residual_norms)
+    events = EventLog()
+    events.extend(result.events)
+    return SolverResult(
+        x=result.x.copy(),
+        status=result.status,
+        iterations=result.iterations,
+        residual_norm=result.residual_norm,
+        history=history,
+        events=events,
+        matvecs=result.matvecs,
+    )
+
+
+class _Trial:
+    """Mutable per-trial bookkeeping inside one batched run."""
+
+    __slots__ = ("setup", "lane", "events", "inner_results", "history",
+                 "peeled", "finished", "result")
+
+    def __init__(self, setup: BatchedTrialSetup, lane: int):
+        self.setup = setup
+        self.lane = lane
+        self.events = EventLog()
+        self.inner_results: list[SolverResult] = []
+        self.history: list[float] = []
+        self.peeled = False
+        self.finished = False
+        self.result: NestedSolverResult | None = None
+
+
+class _BatchedNestedSolve:
+    """One lockstep execution of B nested FT-GMRES trials."""
+
+    def __init__(self, A, b, x0, params: FTGMRESParameters,
+                 setups: list[BatchedTrialSetup]):
+        self.op: LinearOperator = aslinearoperator(A)
+        n = self.op.shape[0]
+        if self.op.shape[0] != self.op.shape[1]:
+            raise ValueError(f"batched solves require a square operator, got {self.op.shape}")
+        self.n = n
+        self.b = np.asarray(b, dtype=np.float64).ravel()
+        self.x0 = (np.asarray(x0, dtype=np.float64).ravel() if x0 is not None
+                   else np.zeros(n, dtype=np.float64))
+        # Benign Arnoldi coefficients are bounded by ||A||_2, for which the
+        # norm of the manufactured right-hand side is a same-order proxy;
+        # anything CHAOS_FACTOR above it can only be an injected fault whose
+        # cancellation would amplify reduction-order noise past the
+        # equivalence contract (see CHAOS_FACTOR).
+        self._chaos_threshold = CHAOS_FACTOR * max(1.0, float(np.linalg.norm(self.b)))
+        self.params = params
+        self.trials = [_Trial(setup, lane) for lane, setup in enumerate(setups)]
+        self.B = len(self.trials)
+        self.inner_budget = params.inner_iterations
+        inner = params.inner
+        self.inner_tol = float(inner.tol)
+        self.inner_policy = LeastSquaresPolicy.coerce(inner.lsq_policy)
+        self.inner_lsq_tol = inner.lsq_tol
+        self.detector: HessenbergBoundDetector | None = inner.detector
+        self.response = inner.detector_response
+        self.precond_block = _resolve_block_preconditioner(inner.preconditioner, n)
+        outer = params.outer
+        self.outer_tol = float(outer.tol)
+        self.max_outer = min(int(outer.max_outer), n)
+        self.outer_policy = LeastSquaresPolicy.coerce(outer.lsq_policy)
+        self.outer_lsq_tol = outer.lsq_tol
+
+    # ------------------------------------------------------------------ #
+    def _matvec_rows(self, X: np.ndarray, lanes=None) -> np.ndarray:
+        """Apply the operator to the given lanes of a lanes-major block.
+
+        Each lane goes through the exact serial ``matvec`` kernel on its
+        contiguous row, so per-lane results are bit-identical to a serial
+        solve; lanes not listed stay zero.
+        """
+        Y = np.zeros_like(X)
+        rows = range(X.shape[0]) if lanes is None else lanes
+        for b in rows:
+            Y[b] = self.op.matvec(X[b])
+        return Y
+
+    def _peel(self, trial: _Trial) -> None:
+        trial.peeled = True
+        trial.result = None
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> list[NestedSolverResult | None]:
+        """Execute all trials; ``None`` entries mark peeled trials."""
+        op, b, x0 = self.op, self.b, self.x0
+        n, B = self.n, self.B
+
+        norm_b = float(np.linalg.norm(b))
+        target = self.outer_tol * norm_b if norm_b > 0.0 else self.outer_tol
+
+        r = b - op.matvec(x0)
+        beta = float(np.linalg.norm(r))
+        for trial in self.trials:
+            trial.history.append(beta)
+        if beta <= target or not np.isfinite(beta):
+            # Degenerate: the failure-free answer is the initial guess (or
+            # the residual is poisoned).  The serial engine handles every
+            # trial identically in O(1); let it.
+            for trial in self.trials:
+                self._peel(trial)
+            return [trial.result for trial in self.trials]
+
+        max_outer = self.max_outer
+        m = self.inner_budget
+        # Outer basis/flexible-basis blocks, one lanes-major (B, n) slab per
+        # iteration; grown lazily so memory tracks the iterations used.
+        Q: list[np.ndarray] = [np.repeat((r / beta)[None, :], B, axis=0)]
+        Z: list[np.ndarray] = []
+        h_cols: list[np.ndarray] = []
+        qr = BatchedGivensQR(max_outer, np.full(B, beta))
+        alive = np.ones(B, dtype=bool)
+        # Prefix sharing: until a trial's fault fires, its trajectory is
+        # *bit-identical* to the failure-free one (every lockstep kernel is
+        # lane-independent and deterministic), so all still-virgin lanes ride
+        # one shared representative column through the inner solves and only
+        # diverged lanes pay for their own Krylov iterations.  A lane
+        # diverges in the outer round whose inner solve spans its scheduled
+        # aggregate iteration; lanes with no aggregate pin diverge at once.
+        targets = np.full(B, -1, dtype=np.int64)
+        for trial in self.trials:
+            hess_target = trial.setup.hessenberg_target
+            targets[trial.lane] = -1 if hess_target is None else int(hess_target)
+        diverged = targets < 0
+
+        for j in range(max_outer):
+            if not alive.any():
+                break
+            offset = j * m
+            diverged |= alive & (targets < offset + m)
+            virgin = alive & ~diverged
+            compute_idx = np.flatnonzero(alive & diverged)
+            rep = -1
+            if virgin.any():
+                rep = int(np.flatnonzero(virgin)[0])
+                compute_idx = np.append(compute_idx, rep)
+            # ----- lockstep inner solves (the heavy step) ----------------
+            rhs_block = Q[j][compute_idx]
+            X_inner, inner_peel, inner_solver_results = self._inner_solve(
+                rhs_block, compute_idx, j)
+
+            Zj = np.zeros((B, n), dtype=np.float64)
+            for pos, lane in enumerate(compute_idx):
+                if lane == rep:
+                    continue  # delivered with the virgin group below
+                trial = self.trials[lane]
+                if inner_peel[pos]:
+                    self._peel(trial)
+                    alive[lane] = False
+                    continue
+                Zj[lane] = self._deliver_inner(
+                    trial, inner_solver_results[pos], X_inner[pos], j)
+            if rep >= 0:
+                pos_rep = compute_idx.shape[0] - 1
+                virgin_lanes = np.flatnonzero(virgin)
+                if inner_peel[pos_rep]:
+                    # The shared trajectory left the common path; every
+                    # virgin lane would do exactly the same.
+                    for lane in virgin_lanes:
+                        self._peel(self.trials[lane])
+                        alive[lane] = False
+                else:
+                    shared = inner_solver_results[pos_rep]
+                    z_rep = X_inner[pos_rep]
+                    for lane in virgin_lanes:
+                        result = shared if lane == rep else _clone_result(shared)
+                        Zj[lane] = self._deliver_inner(
+                            self.trials[lane], result, z_rep, j)
+            Z.append(Zj)
+            if not alive.any():
+                break
+
+            # ----- reliable operator application + lockstep MGS ----------
+            # Compacted to the alive lanes: late outer rounds typically
+            # carry only the few stagnating faulted trials, and the basis
+            # gathers over the alive subset cost one extra pass while
+            # shrinking every kernel to the lanes that still matter.
+            act = np.flatnonzero(alive)
+            with np.errstate(**_ERRSTATE):
+                V = self._matvec_rows(Zj[act])
+                W = V
+                h_act = np.zeros((j + 2, act.size), dtype=np.float64)
+                for i in range(j + 1):
+                    q_i = Q[i][act]
+                    h = np.einsum("bn,bn->b", q_i, W)
+                    h_act[i] = h
+                    W = W - q_i * h[:, None]
+                norm_act = _row_norms(W)
+            h_act[j + 1] = norm_act
+            h_block = np.zeros((j + 2, B), dtype=np.float64)
+            h_block[:, act] = h_act
+            h_cols.append(h_block)
+            resid_est = qr.add_column(h_block)
+            k = j + 1
+            for lane in act:
+                self.trials[lane].history.append(float(resid_est[lane]))
+
+            # ----- breakdown trichotomy (peel) and convergence (finish) --
+            scale = np.maximum(np.max(np.abs(h_act[: j + 1]), axis=0), 1.0)
+            breakdown = np.zeros(B, dtype=bool)
+            breakdown[act] = norm_act <= BREAKDOWN_TOL * scale
+            for lane in np.flatnonzero(breakdown):
+                # Serial fgmres now runs the rank test and reports HAPPY_
+                # BREAKDOWN or RANK_DEFICIENT; both are rare — peel.
+                self._peel(self.trials[lane])
+                alive[lane] = False
+            finite_est = np.isfinite(resid_est)
+            near_cusp = finite_est & alive & \
+                (np.abs(resid_est - target) <= TARGET_GUARD_BAND * target)
+            for lane in np.flatnonzero(near_cusp):
+                # On the convergence-decision cusp, reduction-order noise
+                # could flip this round's verdict vs serial — peel.
+                self._peel(self.trials[lane])
+                alive[lane] = False
+            converged = finite_est & (resid_est <= target) & alive
+            for lane in np.flatnonzero(converged):
+                self._finish(self.trials[lane], k, SolverStatus.CONVERGED,
+                             qr, Z, h_cols, beta, target)
+                alive[lane] = False
+
+            if j + 1 < max_outer and alive.any():
+                q_next = np.zeros((B, n), dtype=np.float64)
+                with np.errstate(**_ERRSTATE):
+                    q_next[act] = W / norm_act[:, None]
+                still = alive[act]
+                if not still.all():
+                    q_next[act[~still], :] = 0.0
+                Q.append(q_next)
+
+        # Budget exhausted: remaining trials end like serial MAX_ITERATIONS.
+        for trial in self.trials:
+            if not trial.peeled and not trial.finished:
+                self._finish(trial, max_outer, SolverStatus.MAX_ITERATIONS,
+                             qr, Z, h_cols, beta, target)
+        return [trial.result for trial in self.trials]
+
+    # ------------------------------------------------------------------ #
+    def _deliver_inner(self, trial: _Trial, result: SolverResult,
+                       z_col: np.ndarray, j: int) -> np.ndarray:
+        """Record one inner-solve result exactly as the serial drivers do.
+
+        Mirrors ``ft_gmres``'s inner-solver bookkeeping (append the result,
+        merge its events) followed by ``fgmres``'s reliable screening of the
+        returned vector.  Returns the (screened) flexible-basis column.
+        """
+        trial.inner_results.append(result)
+        trial.events.extend(result.events)
+        if not np.all(np.isfinite(z_col)):
+            trial.events.record("inner_result_nonfinite", where="inner_solve",
+                                outer_iteration=j)
+            z_col = np.nan_to_num(z_col, nan=0.0, posinf=0.0, neginf=0.0)
+        trial.events.record("inner_solve_complete", where="inner_solve",
+                            outer_iteration=j)
+        return z_col
+
+    # ------------------------------------------------------------------ #
+    def _finish(self, trial: _Trial, k: int, status: SolverStatus,
+                qr: BatchedGivensQR, Z: list[np.ndarray], h_cols: list[np.ndarray],
+                beta: float, target: float) -> None:
+        """Form one trial's outer solution exactly as serial fgmres does."""
+        lane = trial.lane
+        if self.outer_policy is LeastSquaresPolicy.STANDARD:
+            H = None
+        else:
+            H = np.zeros((k + 1, k), dtype=np.float64)
+            for jj in range(k):
+                H[: jj + 2, jj] = h_cols[jj][:, lane]
+        y, lsq_info = solve_projected_lsq(
+            qr.lane_R(lane, k), qr.lane_g(lane, k), policy=self.outer_policy,
+            tol=self.outer_lsq_tol, H=H, beta=beta)
+        if lsq_info.get("fallback"):
+            trial.events.record("lsq_fallback", where="least_squares", outer_iteration=k)
+        Zt = np.empty((self.n, k), dtype=np.float64, order="F")
+        for jj in range(k):
+            Zt[:, jj] = Z[jj][lane]
+        x = self.x0 + Zt @ y
+        r = self.b - self.op.matvec(x)
+        residual_norm = float(np.linalg.norm(r))
+        if status is SolverStatus.MAX_ITERATIONS:
+            if np.isfinite(residual_norm) and \
+                    abs(residual_norm - target) <= TARGET_GUARD_BAND * target:
+                # Final-residual decision cusp: serial could classify this
+                # trial the other way — peel instead of guessing.
+                self._peel(trial)
+                return
+            if residual_norm <= target:
+                status = SolverStatus.CONVERGED
+        history = ConvergenceHistory()
+        history.residual_norms = list(trial.history)
+        trial.result = NestedSolverResult(
+            x=x,
+            status=status,
+            outer_iterations=k,
+            total_inner_iterations=sum(res.iterations for res in trial.inner_results),
+            residual_norm=residual_norm,
+            history=history,
+            inner_results=trial.inner_results,
+            events=trial.events,
+        )
+        trial.finished = True
+
+    # ------------------------------------------------------------------ #
+    def _inner_solve(self, rhs_block: np.ndarray, act_idx: np.ndarray, o: int):
+        """One lockstep batch of inner GMRES solves (outer iteration ``o``).
+
+        ``rhs_block`` is lanes-major ``(B, n)``.  Returns ``(X, peel,
+        results)`` where ``X`` holds the per-lane solutions (lanes-major),
+        ``peel`` marks lanes that left the common path, and ``results``
+        holds per-lane :class:`SolverResult` (entries of peeled lanes are
+        ``None``).
+        """
+        m = self.inner_budget
+        tol = self.inner_tol
+        offset = o * m
+        lanes, n = rhs_block.shape
+        trials = [self.trials[lane] for lane in act_idx]
+        inner_events = [EventLog() for _ in trials]
+        detector, response = self.detector, self.response
+
+        peel = np.zeros(lanes, dtype=bool)
+        chaotic = np.zeros(lanes, dtype=bool)
+        results: list[SolverResult | None] = [None] * lanes
+
+        norm_rhs = _row_norms(rhs_block)
+        target = np.where(norm_rhs > 0.0, tol * norm_rhs, tol)
+        # x0 = 0, so the (reliable) initial residual is the RHS itself.
+        residual0 = norm_rhs
+        histories = np.zeros((m + 1, lanes), dtype=np.float64)
+        histories[0] = residual0
+        peel |= residual0 <= target          # converged before iterating
+        peel |= ~np.isfinite(residual0)      # poisoned RHS
+        peel |= residual0 == 0.0             # serial stagnation branch
+        alive = ~peel
+
+        beta = residual0
+        qr = BatchedGivensQR(m, beta)
+        H_arr = (np.zeros((m + 1, m, lanes), dtype=np.float64)
+                 if self.inner_policy is not LeastSquaresPolicy.STANDARD else None)
+        arnoldi = BatchedArnoldi(self.op.matvec, rhs_block, beta, m,
+                                 precond_block=self.precond_block)
+
+        # Injection candidates per local iteration: trials whose schedule is
+        # pinned to an aggregate iteration inside this inner solve, plus
+        # trials with no aggregate pin (consulted at every coefficient, like
+        # the serial hooked path).
+        by_iteration: dict[int, list[int]] = {}
+        always: list[int] = []
+        for pos, trial in enumerate(trials):
+            hess_target = trial.setup.hessenberg_target
+            if hess_target is None:
+                always.append(pos)
+            elif offset <= hess_target < offset + m:
+                by_iteration.setdefault(hess_target - offset, []).append(pos)
+
+        chaos_threshold = self._chaos_threshold
+
+        need_pre = detector is not None and response == "recompute"
+
+        def hook_factory(j: int, candidates: list[int]):
+            def hook(kind: str, index: int, values: np.ndarray) -> np.ndarray:
+                pre = values.copy() if need_pre else None
+                if kind == "hessenberg":
+                    for pos in candidates:
+                        if not alive[pos]:
+                            continue
+                        value = float(values[pos])
+                        corrupted = trials[pos].setup.injector.corrupt_scalar(
+                            "hessenberg", value,
+                            outer_iteration=o, inner_solve_index=o,
+                            inner_iteration=j,
+                            aggregate_inner_iteration=offset + j,
+                            mgs_index=index, mgs_length=j + 1)
+                        if corrupted != value and not (np.isnan(corrupted)
+                                                       and np.isnan(value)):
+                            inner_events[pos].record(
+                                "fault_injected", where="hessenberg",
+                                outer_iteration=o, inner_iteration=j,
+                                original=value, corrupted=float(corrupted),
+                                mgs_index=index,
+                                aggregate_inner_iteration=offset + j)
+                        values[pos] = corrupted
+                if detector is not None and (flagged := _detector_flags(detector, values)).any():
+                    site = "hessenberg" if kind == "hessenberg" else "subdiag"
+                    for pos in np.flatnonzero(flagged & alive):
+                        value = float(values[pos])
+                        verdict = detector.check_scalar(value, site=site)
+                        if not verdict.flagged:
+                            continue  # inside the prefilter band, below the bound
+                        inner_events[pos].record(
+                            "fault_detected", where=site,
+                            outer_iteration=o, inner_iteration=j,
+                            mgs_index=index, value=value, bound=verdict.bound,
+                            detector=verdict.detector, reason=verdict.reason,
+                            response=response,
+                            aggregate_inner_iteration=offset + j)
+                        if response == "zero":
+                            values[pos] = 0.0
+                        elif response == "clamp":
+                            bound = verdict.bound if np.isfinite(verdict.bound) else 0.0
+                            values[pos] = (float(np.sign(value) * bound)
+                                           if np.isfinite(value) else 0.0)
+                            if np.isfinite(value) and abs(value) > chaos_threshold:
+                                # Clamping a huge fault leaves a bound-scale
+                                # coefficient whose downstream cancellation
+                                # still amplifies reduction-order noise past
+                                # the equivalence contract — peel the lane.
+                                chaotic[pos] = True
+                        elif response == "recompute":
+                            values[pos] = pre[pos]
+                        elif response == "raise":
+                            raise FaultDetectedError(verdict)
+                        # "flag": keep the value.
+                if kind == "hessenberg":
+                    # Chaos gate: a surviving injected coefficient this far
+                    # above the benign scale makes the lane's trajectory
+                    # hypersensitive to reduction order — peel it to the
+                    # serial reference instead of shipping ~1e-10-violating
+                    # results.  (Filtering responses never reach here with a
+                    # huge value; NaN/Inf propagate order-independently and
+                    # stay in the batch.)
+                    for pos in candidates:
+                        if alive[pos]:
+                            value = values[pos]
+                            if np.isfinite(value) and abs(value) > chaos_threshold:
+                                chaotic[pos] = True
+                return values
+            return hook
+
+        spmv_hook = None
+        if detector is not None:
+            def spmv_hook(j, V, _alive=alive, _events=inner_events):
+                self._screen_spmv(V, _alive, _events, o, j)
+
+        for j in range(m):
+            candidates = always + by_iteration.get(j, [])
+            hook = (hook_factory(j, candidates)
+                    if candidates or detector is not None else None)
+            h_block = arnoldi.step(j, coefficient_hook=hook, spmv_hook=spmv_hook,
+                                   active=alive)
+            if H_arr is not None:
+                H_arr[: j + 2, j] = h_block
+            resid_est = qr.add_column(h_block)
+            histories[j + 1] = resid_est
+
+            norm_v = h_block[j + 1]
+            scale = np.maximum(np.max(np.abs(h_block[: j + 1]), axis=0), 1.0)
+            with np.errstate(**_ERRSTATE):
+                breakdown = np.isfinite(norm_v) & (norm_v <= HAPPY_BREAKDOWN_TOL * scale)
+                finite_est = np.isfinite(resid_est)
+                # Early convergence AND the guard band around it: a lane
+                # whose estimate sits within reduction-order noise of the
+                # target could converge a step earlier/later than serial.
+                early = finite_est & (resid_est <= target)
+                early |= finite_est & \
+                    (np.abs(resid_est - target) <= TARGET_GUARD_BAND * target)
+            newly_out = (breakdown | early | chaotic) & alive
+            if newly_out.any():
+                peel |= newly_out
+                alive &= ~newly_out
+                if not alive.any():
+                    return (np.zeros((lanes, n), dtype=np.float64), peel, results)
+                arnoldi.zero_lanes(j + 1, np.flatnonzero(~alive))
+
+        # ----- projected least-squares solve and solution update ----------
+        fallback = np.zeros(lanes, dtype=bool)
+        finite_y = np.ones(lanes, dtype=bool)
+        if self.inner_policy is LeastSquaresPolicy.STANDARD:
+            Y = qr.solve_standard()
+            finite_y = np.all(np.isfinite(Y), axis=0)
+        else:
+            Y = np.zeros((m, lanes), dtype=np.float64)
+            for pos in np.flatnonzero(alive):
+                y, info = solve_projected_lsq(
+                    qr.lane_R(pos), qr.lane_g(pos), policy=self.inner_policy,
+                    tol=self.inner_lsq_tol, H=H_arr[: m + 1, :m, pos],
+                    beta=float(beta[pos]))
+                Y[:, pos] = y
+                fallback[pos] = bool(info.get("fallback"))
+                finite_y[pos] = bool(info.get("finite", True))
+        for pos in np.flatnonzero(alive):
+            if fallback[pos]:
+                inner_events[pos].record("lsq_fallback", where="least_squares",
+                                         outer_iteration=o, inner_iteration=m)
+            if not finite_y[pos]:
+                inner_events[pos].record("lsq_nonfinite", where="least_squares",
+                                         outer_iteration=o, inner_iteration=m)
+
+        update = arnoldi.update_block(Y)
+        if self.precond_block is not None:
+            with np.errstate(**_ERRSTATE):
+                live = np.flatnonzero(alive)
+                preconditioned = np.zeros_like(update)
+                preconditioned[live] = np.ascontiguousarray(
+                    self.precond_block(update[live].T).T)
+                update = preconditioned
+        with np.errstate(**_ERRSTATE):
+            X = update + 0.0  # x0 + update with x0 = 0, exactly as serial
+            R_final = rhs_block - self._matvec_rows(X, lanes=np.flatnonzero(alive))
+        residual_final = _row_norms(R_final)
+
+        for pos in np.flatnonzero(alive):
+            history = ConvergenceHistory()
+            history.residual_norms = [float(v) for v in histories[:, pos]]
+            results[pos] = SolverResult(
+                x=X[pos].copy(),
+                status=SolverStatus.MAX_ITERATIONS,
+                iterations=m,
+                residual_norm=float(residual_final[pos]),
+                history=history,
+                events=inner_events[pos],
+                matvecs=m + 2,
+            )
+        return X, peel, results
+
+    # ------------------------------------------------------------------ #
+    def _screen_spmv(self, spmv: np.ndarray, alive: np.ndarray,
+                     inner_events: list[EventLog], o: int, j: int) -> None:
+        """Mirror the hooked Arnoldi step's detector check on ``A q_j``."""
+        detector = self.detector
+        norms = _row_norms(spmv)
+        flagged = _detector_flags(detector, norms) & alive
+        for pos in np.flatnonzero(flagged):
+            verdict = detector.check_vector(spmv[pos], site="spmv")
+            if not verdict.flagged:
+                continue  # inside the prefilter band, below the bound
+            inner_events[pos].record(
+                "fault_detected", where="spmv", outer_iteration=o,
+                inner_iteration=j, reason=verdict.reason,
+                detector=verdict.detector, response=self.response)
+            if self.response == "raise":
+                raise FaultDetectedError(verdict)
+
+
+def batched_ft_gmres(A, b, x0, params: FTGMRESParameters,
+                     setups: list[BatchedTrialSetup]
+                     ) -> list[NestedSolverResult | None]:
+    """Run a batch of independent nested FT-GMRES trials in lockstep.
+
+    Parameters
+    ----------
+    A, b, x0 : system
+        Shared by every trial (a fault campaign solves one fixed system).
+    params : FTGMRESParameters
+        The nested-solver configuration, shared by every trial.  Must be
+        supported by the lockstep engine — check with
+        :func:`batched_support_reason` first.
+    setups : list of BatchedTrialSetup
+        Per-trial injector wiring; the batch width ``B`` is ``len(setups)``.
+
+    Returns
+    -------
+    list of NestedSolverResult or None
+        One entry per trial, in input order.  ``None`` marks a trial that
+        left the lockstep common path (breakdown, early inner convergence);
+        the caller must rerun it through the serial reference engine.
+    """
+    if not setups:
+        return []
+    return _BatchedNestedSolve(A, b, x0, params, setups).run()

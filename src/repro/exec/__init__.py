@@ -6,11 +6,18 @@ per-worker problem construction and deterministic result ordering.  See
 :class:`repro.exec.executor.CampaignExecutor`.
 """
 
-from repro.exec.executor import BACKENDS, CampaignExecutor, resolve_backend, resolve_workers
+from repro.exec.executor import (
+    BACKENDS,
+    DEFAULT_BATCH_SIZE,
+    CampaignExecutor,
+    resolve_backend,
+    resolve_workers,
+)
 from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_BATCH_SIZE",
     "CampaignExecutor",
     "CampaignConfig",
     "ProblemFactory",

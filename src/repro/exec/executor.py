@@ -8,7 +8,12 @@ schedules them over pluggable backends:
 * ``"thread"``  — a ``ThreadPoolExecutor`` (useful when the solves release
   the GIL in BLAS-heavy kernels, and for testing the dispatch machinery);
 * ``"process"`` — a ``ProcessPoolExecutor`` (true parallelism; the paper's
-  sweeps are embarrassingly parallel and CPU-bound).
+  sweeps are embarrassingly parallel and CPU-bound);
+* ``"batched"`` — the trial-batched lockstep engine (:mod:`repro.core.batched`):
+  ``batch_size`` trials advance together through shared block kernels in
+  this process, amortizing sparse index traffic and interpreter overhead
+  across the batch.  Unlike process parallelism it needs no extra CPUs —
+  it is the backend that wins on a single-core host.
 
 Design invariants:
 
@@ -38,10 +43,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolE
 
 from repro.exec.spec import CampaignConfig, TrialSpec
 
-__all__ = ["BACKENDS", "CampaignExecutor", "resolve_workers", "resolve_backend"]
+__all__ = ["BACKENDS", "DEFAULT_BATCH_SIZE", "CampaignExecutor", "resolve_workers",
+           "resolve_backend"]
 
 #: Recognized execution backends.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "batched")
+
+#: Default lockstep batch width for the ``"batched"`` backend: wide enough to
+#: amortize interpreter dispatch across the batch, narrow enough that the
+#: per-batch basis blocks stay cache/memory friendly at paper scale.
+DEFAULT_BATCH_SIZE = 32
 
 #: Maximum number of chunk futures kept in flight per worker; bounds the
 #: memory held by pending results while keeping every worker busy.
@@ -119,8 +130,10 @@ class CampaignExecutor:
     config : CampaignConfig or FaultCampaign
         What each worker needs to run trials.  A campaign instance is
         snapshotted via :meth:`FaultCampaign.to_config`.
-    backend : {"serial", "thread", "process"} or None
-        ``None`` auto-selects: ``process`` when ``workers > 1``.
+    backend : {"serial", "thread", "process", "batched"} or None
+        ``None`` auto-selects: ``process`` when ``workers > 1``.  The
+        ``"batched"`` backend advances trials in lockstep through shared
+        block kernels in this process (see :mod:`repro.core.batched`).
     workers : int, optional
         Worker count; defaults to the ``REPRO_WORKERS`` environment variable
         and then 1.  ``0`` means one per CPU.
@@ -128,10 +141,13 @@ class CampaignExecutor:
         Trials per dispatched task.  The default splits the work into about
         four chunks per worker, which balances messaging overhead against
         load-balancing granularity.
+    batch_size : int, optional
+        Lockstep batch width for the ``"batched"`` backend (default
+        :data:`DEFAULT_BATCH_SIZE`); ignored by the other backends.
     """
 
     def __init__(self, config, *, backend: str | None = None, workers: int | None = None,
-                 chunksize: int | None = None):
+                 chunksize: int | None = None, batch_size: int | None = None):
         self._local_campaign = None
         if not isinstance(config, CampaignConfig):
             to_config = getattr(config, "to_config", None)
@@ -148,6 +164,9 @@ class CampaignExecutor:
         if chunksize is not None and chunksize <= 0:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
         self.chunksize = chunksize
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
 
     # ------------------------------------------------------------------ #
     def run(self, specs, progress=None) -> list:
@@ -175,15 +194,26 @@ class CampaignExecutor:
         if len(set(indices)) != total:
             raise ValueError("trial spec indices must be unique")
 
+        if self.backend == "batched":
+            return self._run_batched(specs, progress, total)
         if self.backend == "serial" or self.workers <= 1 or total == 1:
             return self._run_serial(specs, progress, total)
         return self._run_pool(specs, progress, total)
 
     # ------------------------------------------------------------------ #
-    def _run_serial(self, specs, progress, total) -> list:
+    def _campaign(self):
         if self._local_campaign is None:
             self._local_campaign = self.config.build_campaign()
-        campaign = self._local_campaign
+        return self._local_campaign
+
+    def _run_batched(self, specs, progress, total) -> list:
+        """Lockstep execution in this process (see :mod:`repro.core.batched`)."""
+        return self._campaign().run_specs_batched(
+            specs, batch_size=self.batch_size, progress=progress,
+            progress_total=total)
+
+    def _run_serial(self, specs, progress, total) -> list:
+        campaign = self._campaign()
         records = []
         for done, spec in enumerate(specs, start=1):
             records.append((spec.index, campaign.run_spec(spec)))

@@ -60,9 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parallel workers for the sweeps (default: REPRO_WORKERS "
                              "or 1; 0 = one per CPU)")
     parser.add_argument("--backend", default=None,
-                        choices=["serial", "thread", "process"],
+                        choices=["serial", "thread", "process", "batched"],
                         help="campaign execution backend (default: process when "
-                             "workers > 1, else serial)")
+                             "workers > 1, else serial).  'process' wins when spare "
+                             "CPU cores are available; 'batched' advances trials in "
+                             "lockstep through shared block kernels and is the right "
+                             "choice on single-CPU hosts, where process dispatch is "
+                             "pure overhead")
+    parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
+                        help="trials advanced in lockstep per batch "
+                             "(batched backend only; default 32)")
     return parser
 
 
@@ -96,6 +103,7 @@ def _run_figure(problem, label: str, args) -> None:
             stride=args.stride,
             workers=args.workers,
             backend=args.backend,
+            batch_size=args.batch_size,
         )
     figure = FigureSweep(problem_name=problem.name, first=panels["first"],
                          last=panels["last"])
@@ -112,7 +120,8 @@ def _print_summary(problems, args) -> None:
             max_outer=MAX_OUTER["poisson"], mgs_position="first",
             detector=detector, detector_response="zero")
         campaigns[detector] = campaign.run(stride=args.stride, workers=args.workers,
-                                           backend=args.backend)
+                                           backend=args.backend,
+                                           batch_size=args.batch_size)
     comparison = detector_comparison(campaigns[None], campaigns["bound"])
     print("Section VII-E summary (Poisson):")
     for key, campaign in (("without detector", campaigns[None]),

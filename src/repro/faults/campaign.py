@@ -208,15 +208,23 @@ class FaultCampaign:
         """Run the nested solver without any fault injection."""
         return ft_gmres(self.problem.A, self.problem.b, self.problem.x0, params=self.params)
 
-    def run_single(self, fault_class: str, model: FaultModel,
-                   aggregate_inner_iteration: int) -> TrialRecord:
-        """Run one faulted nested solve and summarize it as a TrialRecord."""
-        schedule = InjectionSchedule(
+    def _trial_schedule(self, aggregate_inner_iteration: int) -> InjectionSchedule:
+        """The single-transient-SDC schedule of one campaign trial.
+
+        Shared by the serial and the batched execution paths so both inject
+        under exactly the same schedule.
+        """
+        return InjectionSchedule(
             site=self.site,
             aggregate_inner_iteration=int(aggregate_inner_iteration),
             mgs_position=self.mgs_position,
             persistence="transient",
         )
+
+    def run_single(self, fault_class: str, model: FaultModel,
+                   aggregate_inner_iteration: int) -> TrialRecord:
+        """Run one faulted nested solve and summarize it as a TrialRecord."""
+        schedule = self._trial_schedule(aggregate_inner_iteration)
         injector = FaultInjector(model, schedule)
         result = ft_gmres(self.problem.A, self.problem.b, self.problem.x0,
                           params=self.params, injector=injector)
@@ -237,14 +245,114 @@ class FaultCampaign:
 
     def run_spec(self, spec) -> TrialRecord:
         """Run the trial described by a :class:`~repro.exec.spec.TrialSpec`."""
+        return self.run_single(spec.fault_class, self._model_for(spec.fault_class),
+                               spec.aggregate_inner_iteration)
+
+    def _model_for(self, fault_class: str) -> FaultModel:
         try:
-            model = self.fault_classes[spec.fault_class]
+            return self.fault_classes[fault_class]
         except KeyError:
             raise KeyError(
-                f"unknown fault class {spec.fault_class!r}; "
+                f"unknown fault class {fault_class!r}; "
                 f"campaign has {sorted(self.fault_classes)}"
             ) from None
-        return self.run_single(spec.fault_class, model, spec.aggregate_inner_iteration)
+
+    # ------------------------------------------------------------------ #
+    # trial-batched lockstep execution
+    # ------------------------------------------------------------------ #
+    def batched_unsupported_reason(self) -> str | None:
+        """Why this campaign cannot run on the lockstep batched engine.
+
+        ``None`` means the configuration is supported.  The supported space
+        is the paper's experiment space (MGS inside and out, ``hessenberg``
+        injection site, no detector or the Hessenberg-bound detector with a
+        non-raising response); exotic configurations belong on the serial
+        backend.
+        """
+        from repro.core.batched import batched_support_reason
+
+        return batched_support_reason(self.params, self.site)
+
+    def run_specs_batched(self, specs, *, batch_size: int | None = None,
+                          progress=None, progress_offset: int = 0,
+                          progress_total: int | None = None) -> list[TrialRecord]:
+        """Run trial specs through the lockstep batched engine.
+
+        Trials advance ``batch_size`` at a time through shared block kernels
+        (see :mod:`repro.core.batched`).  Trials that leave the lockstep
+        common path — happy breakdown, early inner convergence, the outer
+        breakdown trichotomy — are transparently rerun through the serial
+        reference implementation, so the output is equivalent to
+        :meth:`run_spec` on every spec: identical iteration counts, statuses
+        and event streams, residual norms to ~1e-10.
+
+        Returns records ordered by ``spec.index`` (the canonical order).
+        """
+        from repro.core.batched import BatchedTrialSetup, batched_ft_gmres
+        from repro.faults.injector import FaultInjector
+
+        reason = self.batched_unsupported_reason()
+        if reason is not None:
+            raise ValueError(
+                f"campaign configuration not supported by the batched backend "
+                f"({reason}); use backend='serial' (or 'process')")
+        specs = list(specs)
+        if batch_size is None:
+            from repro.exec.executor import DEFAULT_BATCH_SIZE
+
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        total = progress_total if progress_total is not None else len(specs)
+        done = progress_offset
+        records: list[tuple[int, TrialRecord]] = []
+        # Strided batch composition: batch i takes specs[i::num_batches], so
+        # every batch spans the whole injection-location range instead of a
+        # narrow consecutive window.  Lanes then fork off the shared
+        # failure-free prefix spread across the sweep, which is what makes
+        # the prefix sharing in the lockstep engine pay (results are
+        # reassembled by spec.index, so composition is free).
+        num_batches = -(-len(specs) // batch_size) if specs else 0
+        for start in range(num_batches):
+            chunk = specs[start::num_batches]
+            setups = []
+            for spec in chunk:
+                model = self._model_for(spec.fault_class)
+                schedule = self._trial_schedule(spec.aggregate_inner_iteration)
+                setups.append(BatchedTrialSetup(
+                    injector=FaultInjector(model, schedule),
+                    hessenberg_target=schedule.aggregate_inner_iteration,
+                ))
+            results = batched_ft_gmres(self.problem.A, self.problem.b,
+                                       self.problem.x0, self.params, setups)
+            for spec, setup, result in zip(chunk, setups, results):
+                if result is None:
+                    # Off the lockstep common path: the serial reference
+                    # engine is the fallback, so rare paths never rely on
+                    # the batched reproduction of them.
+                    record = self.run_spec(spec)
+                else:
+                    model = self._model_for(spec.fault_class)
+                    record = TrialRecord(
+                        fault_class=spec.fault_class,
+                        fault_description=model.describe(),
+                        aggregate_inner_iteration=int(spec.aggregate_inner_iteration),
+                        mgs_position=self.mgs_position,
+                        outer_iterations=result.outer_iterations,
+                        total_inner_iterations=result.total_inner_iterations,
+                        converged=result.converged,
+                        status=result.status.value,
+                        residual_norm=result.residual_norm,
+                        faults_injected=setup.injector.injections_performed,
+                        faults_detected=result.faults_detected,
+                        detector_enabled=self.detector is not None,
+                    )
+                records.append((spec.index, record))
+            done += len(chunk)
+            if progress is not None:
+                progress(done, total)
+        records.sort(key=lambda pair: pair[0])
+        return [record for _, record in records]
 
     # ------------------------------------------------------------------ #
     # execution-engine integration
@@ -289,7 +397,8 @@ class FaultCampaign:
 
     def run(self, locations=None, stride: int = 1, progress=None, *,
             backend: str | None = None, workers: int | None = None,
-            chunksize: int | None = None, executor=None) -> CampaignResult:
+            chunksize: int | None = None, batch_size: int | None = None,
+            executor=None) -> CampaignResult:
         """Run the full campaign.
 
         Parameters
@@ -304,17 +413,22 @@ class FaultCampaign:
             benchmark configurations; ``stride=1`` reproduces the paper).
         progress : callable, optional
             ``progress(done, total)`` callback.
-        backend : {"serial", "thread", "process"}, optional
+        backend : {"serial", "thread", "process", "batched"}, optional
             Execution backend; ``None`` auto-selects ``process`` when the
-            resolved worker count exceeds 1.
+            resolved worker count exceeds 1.  ``"batched"`` advances trials
+            in lockstep through shared block kernels in this process — the
+            right choice on single-CPU hosts, where process dispatch is pure
+            overhead.
         workers : int, optional
             Worker count (default: the ``REPRO_WORKERS`` environment
             variable, then 1; ``0`` means one per CPU).
         chunksize : int, optional
             Trials per dispatched task (parallel backends only).
+        batch_size : int, optional
+            Trials advanced in lockstep per batch (batched backend only).
         executor : CampaignExecutor, optional
             A pre-built executor; overrides ``backend``/``workers``/
-            ``chunksize``.
+            ``chunksize``/``batch_size``.
 
         Returns
         -------
@@ -348,7 +462,7 @@ class FaultCampaign:
         )
         if executor is None:
             executor = CampaignExecutor(self, backend=backend, workers=workers,
-                                        chunksize=chunksize)
+                                        chunksize=chunksize, batch_size=batch_size)
         result.trials.extend(executor.run(self.trial_specs(locations), progress=progress))
         return result
 
@@ -367,11 +481,13 @@ def sweep_injection_locations(
     backend: str | None = None,
     workers: int | None = None,
     chunksize: int | None = None,
+    batch_size: int | None = None,
 ) -> CampaignResult:
     """Functional convenience wrapper around :class:`FaultCampaign`.
 
     Equivalent to constructing a campaign with the given options and calling
-    :meth:`FaultCampaign.run` (including the parallel-execution knobs).
+    :meth:`FaultCampaign.run` (including the parallel/batched-execution
+    knobs).
     """
     campaign = FaultCampaign(
         problem,
@@ -383,4 +499,4 @@ def sweep_injection_locations(
         detector=detector,
     )
     return campaign.run(locations=locations, stride=stride, backend=backend,
-                        workers=workers, chunksize=chunksize)
+                        workers=workers, chunksize=chunksize, batch_size=batch_size)

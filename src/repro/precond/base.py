@@ -27,6 +27,29 @@ class Preconditioner:
         """Return an approximation to ``A^{-1} r``."""
         raise NotImplementedError
 
+    def _coerce_block(self, R: np.ndarray) -> np.ndarray:
+        """Validate and coerce a ``(n, B)`` residual block (shared by every
+        ``apply_block`` implementation)."""
+        R = np.asarray(R, dtype=np.float64)
+        if R.ndim != 2 or R.shape[0] != self.n:
+            raise ValueError(f"expected a ({self.n}, B) block, got shape {R.shape}")
+        return R
+
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        """Return ``M^{-1} R`` for a dense ``(n, B)`` block of residuals.
+
+        The default applies :meth:`apply` column by column, so every
+        preconditioner accepts block operands; the stationary preconditioners
+        override this with single-pass kernels built on the block sparse
+        layer (``CSRMatrix.matmat`` / multi-RHS ``TriangularFactor.solve``)
+        whose columns are bit-identical to the column-at-a-time result.
+        """
+        R = self._coerce_block(R)
+        Z = np.empty((self.n, R.shape[1]), dtype=np.float64, order="F")
+        for j in range(R.shape[1]):
+            Z[:, j] = self.apply(R[:, j])
+        return Z
+
     def __call__(self, r: np.ndarray) -> np.ndarray:
         return self.apply(r)
 

@@ -24,3 +24,7 @@ class IdentityPreconditioner(Preconditioner):
         if r.shape[0] != self.n:
             raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
         return r.copy()
+
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        R = self._coerce_block(R)
+        return R.copy()

@@ -158,3 +158,14 @@ class ILU0Preconditioner(Preconditioner):
         if r.shape[0] != self.n:
             raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
         return self._U.solve(self._L.solve(r))
+
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        """Solve ``L U Z = R`` for a whole ``(n, B)`` block in two sweeps.
+
+        The triangular engines handle multi-RHS blocks natively (one
+        gather/segment-sum/scatter per level over ``(rows_in_level, B)``
+        slabs), so the sparse index traffic is paid once per level instead of
+        once per level per trial.
+        """
+        R = self._coerce_block(R)
+        return self._U.solve(self._L.solve(R))

@@ -29,6 +29,10 @@ class JacobiPreconditioner(Preconditioner):
             raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
         return self._inv_diag * r
 
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        R = self._coerce_block(R)
+        return self._inv_diag[:, None] * R
+
 
 class BlockJacobiPreconditioner(Preconditioner):
     """Block-diagonal preconditioner with contiguous blocks.

@@ -63,3 +63,23 @@ class NeumannPolynomialPreconditioner(Preconditioner):
             np.subtract(term, Av, out=term)
             np.add(z, term, out=z)
         return z
+
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        """Block Neumann application: the same recurrence on ``(n, B)`` slabs.
+
+        Every step is the multi-RHS twin of the vector kernel (``matmat``
+        instead of ``matvec``, broadcast diagonal scaling), so each column is
+        bit-identical to ``apply`` on that column.
+        """
+        R = self._coerce_block(R)
+        inv_diag = self._inv_diag[:, None]
+        Z = inv_diag * R
+        if self.degree == 0:
+            return Z
+        term = Z.copy()
+        for _ in range(self.degree):
+            AV = self.A.matmat(term)
+            np.multiply(AV, inv_diag, out=AV)
+            np.subtract(term, AV, out=term)
+            np.add(Z, term, out=Z)
+        return Z

@@ -48,6 +48,11 @@ class GaussSeidelPreconditioner(Preconditioner):
             raise ValueError(f"vector length {r.shape[0]} does not match {self.n}")
         return self._factor.solve(r)
 
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        """One forward sweep over a whole ``(n, B)`` block of residuals."""
+        R = self._coerce_block(R)
+        return self._factor.solve(R)
+
 
 class SSORPreconditioner(Preconditioner):
     """Symmetric successive over-relaxation preconditioner.
@@ -95,3 +100,10 @@ class SSORPreconditioner(Preconditioner):
         y *= self._mid_scale
         # Backward sweep: (D/w + U) z = y
         return self._backward.solve(y)
+
+    def apply_block(self, R: np.ndarray) -> np.ndarray:
+        """Both SSOR sweeps on a whole ``(n, B)`` block of residuals."""
+        R = self._coerce_block(R)
+        Y = self._forward.solve(R)
+        Y *= self._mid_scale[:, None]
+        return self._backward.solve(Y)

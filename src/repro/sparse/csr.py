@@ -264,9 +264,72 @@ class CSRMatrix:
         np.add.at(y, self.indices, self.data * x[self.row_ids])
         return y
 
+    #: Above this many elements in the ``(nnz, B)`` product block, ``matmat``
+    #: sweeps columns through the cache-resident 1-D kernel instead of
+    #: forming the block in one pass: the single-pass gather's intermediates
+    #: fall out of cache and it becomes memory-bound (measured ~4x slower at
+    #: the paper's medium scale), while the column sweep reuses the same hot
+    #: ``(nnz,)`` scratch for every right-hand side.  Both paths produce
+    #: bit-identical columns.
+    _MATMAT_BLOCK_LIMIT = 1 << 16
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Sparse matrix–matrix product ``Y = A @ X`` for a dense block ``X``.
+
+        The multi-RHS generalization of :meth:`matvec`.  Small blocks take a
+        single-pass kernel (one 2-D gather forming the ``(nnz, B)`` product
+        block, one ``np.add.reduceat`` along axis 0); large blocks sweep
+        columns through the 1-D kernel, which keeps its intermediates
+        cache-resident.  Because ``reduceat`` accumulates each column in the
+        same sequential order either way, every column of the result is
+        *bit-identical* to ``matvec(X[:, b])`` regardless of the path taken
+        — the batched campaign engine relies on this to stay equivalent to
+        serial trials.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.shape[1]} columns, block has {X.shape[0]} rows"
+            )
+        nrows, ncols = self.shape[0], X.shape[1]
+        if self.nnz == 0:
+            return np.zeros((nrows, ncols), dtype=np.float64)
+        if self.nnz * ncols > self._MATMAT_BLOCK_LIMIT:
+            Y = np.empty((nrows, ncols), dtype=np.float64)
+            for j in range(ncols):
+                Y[:, j] = self.matvec(X[:, j])
+            return Y
+        products = self.data[:, None] * X[self.indices, :]
+        starts, nonempty, all_nonempty = self._structure()
+        if all_nonempty:
+            return np.add.reduceat(products, starts, axis=0)
+        Y = np.zeros((nrows, ncols), dtype=np.float64)
+        Y[nonempty, :] = np.add.reduceat(products, starts, axis=0)
+        return Y
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """Transpose matrix–matrix product ``Y = A.T @ X`` for a dense block."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.shape[0]} rows, block has {X.shape[0]} rows"
+            )
+        Y = np.zeros((self.shape[1], X.shape[1]), dtype=np.float64)
+        if self.nnz == 0:
+            return Y
+        np.add.at(Y, self.indices, self.data[:, None] * X[self.row_ids, :])
+        return Y
+
     def __matmul__(self, x):
-        """``A @ x`` for 1-D vectors (dense result)."""
-        return self.matvec(x)
+        """``A @ x``: 1-D operands dispatch to :meth:`matvec`, 2-D to :meth:`matmat`."""
+        arr = np.asarray(x)
+        if arr.ndim == 2:
+            return self.matmat(arr)
+        return self.matvec(arr)
 
     def transpose(self) -> "CSRMatrix":
         """Return ``A.T`` as a new CSR matrix."""

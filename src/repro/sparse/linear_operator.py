@@ -40,8 +40,48 @@ class LinearOperator:
         """Return ``A.T @ x`` (optional)."""
         raise NotImplementedError(f"{type(self).__name__} does not implement rmatvec")
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Return ``A @ X`` for a dense ``(n, B)`` block.
+
+        The default applies :meth:`matvec` column by column, so every
+        operator supports block operands; subclasses wrapping formats with a
+        native block kernel (CSR, dense, scipy sparse) override this with a
+        single-pass implementation whose columns match the column-at-a-time
+        result bit for bit (CSR) or to rounding (BLAS-backed formats).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: operator has {self.shape[1]} columns, "
+                f"block has {X.shape[0]} rows"
+            )
+        Y = np.empty((self.shape[0], X.shape[1]), dtype=np.float64, order="F")
+        for j in range(X.shape[1]):
+            Y[:, j] = self.matvec(X[:, j])
+        return Y
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """Return ``A.T @ X`` for a dense block (column-at-a-time default)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: operator has {self.shape[0]} rows, "
+                f"block has {X.shape[0]} rows"
+            )
+        Y = np.empty((self.shape[1], X.shape[1]), dtype=np.float64, order="F")
+        for j in range(X.shape[1]):
+            Y[:, j] = self.rmatvec(X[:, j])
+        return Y
+
     def __matmul__(self, x):
-        return self.matvec(x)
+        arr = np.asarray(x)
+        if arr.ndim == 2:
+            return self.matmat(arr)
+        return self.matvec(arr)
 
     @property
     def n(self) -> int:
@@ -68,6 +108,18 @@ class _DenseOperator(LinearOperator):
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         return self.array.T @ np.asarray(x, dtype=np.float64)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {X.shape}")
+        return self.array @ X
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {X.shape}")
+        return self.array.T @ X
+
 
 class _CSROperator(LinearOperator):
     """Wrap a :class:`repro.sparse.csr.CSRMatrix`."""
@@ -82,19 +134,70 @@ class _CSROperator(LinearOperator):
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         return self.csr.rmatvec(x)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return self.csr.matmat(X)
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        return self.csr.rmatmat(X)
+
 
 class _ScipyOperator(LinearOperator):
-    """Wrap a ``scipy.sparse`` matrix (or anything with ``@`` and ``.T``)."""
+    """Wrap a ``scipy.sparse`` matrix (or anything with ``@`` and ``.T``).
+
+    Block operands take the native ``@`` path: scipy's sparse·dense product
+    returns a dense ``(m, B)`` array without densifying the operator.  The
+    1-D entry points reject 2-D inputs instead of ``ravel()``-ing them (the
+    old behaviour silently flattened a block into a length-``n*B`` vector,
+    which is exactly the kind of shape bug the block kernels must not hide).
+    """
 
     def __init__(self, mat):
         self.mat = mat
         self.shape = tuple(int(s) for s in mat.shape)
 
+    @staticmethod
+    def _vector(x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 1 and min(x.shape) > 1:
+            raise ValueError(
+                f"matvec/rmatvec expect a vector, got a block of shape {x.shape}; "
+                "use matmat/rmatmat for block operands"
+            )
+        return x.ravel()
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(self.mat @ np.asarray(x, dtype=np.float64)).ravel()
+        return np.asarray(self.mat @ self._vector(x)).ravel()
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(self.mat.T @ np.asarray(x, dtype=np.float64)).ravel()
+        return np.asarray(self.mat.T @ self._vector(x)).ravel()
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: operator has {self.shape[1]} columns, "
+                f"block has {X.shape[0]} rows"
+            )
+        Y = np.asarray(self.mat @ X, dtype=np.float64)
+        if Y.shape != (self.shape[0], X.shape[1]):  # pragma: no cover - defensive
+            raise ValueError(
+                f"underlying operator returned shape {Y.shape}, "
+                f"expected {(self.shape[0], X.shape[1])}"
+            )
+        return Y
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {X.shape}")
+        if X.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: operator has {self.shape[0]} rows, "
+                f"block has {X.shape[0]} rows"
+            )
+        return np.asarray(self.mat.T @ X, dtype=np.float64)
 
 
 class MatrixFreeOperator(LinearOperator):
@@ -108,13 +211,31 @@ class MatrixFreeOperator(LinearOperator):
         Function mapping a length-``n`` vector to a length-``m`` vector.
     rmatvec : callable, optional
         Transpose product; omit if unavailable.
+    matmat : callable, optional
+        Native block product mapping ``(n, B)`` to ``(m, B)``; when omitted
+        the inherited column-at-a-time default is used.
     """
 
     def __init__(self, shape, matvec: Callable[[np.ndarray], np.ndarray],
-                 rmatvec: Callable[[np.ndarray], np.ndarray] | None = None):
+                 rmatvec: Callable[[np.ndarray], np.ndarray] | None = None,
+                 matmat: Callable[[np.ndarray], np.ndarray] | None = None):
         self.shape = (int(shape[0]), int(shape[1]))
         self._matvec = matvec
         self._rmatvec = rmatvec
+        self._matmat = matmat
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        if self._matmat is None:
+            return super().matmat(X)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {X.shape}")
+        Y = np.asarray(self._matmat(X), dtype=np.float64)
+        if Y.shape != (self.shape[0], X.shape[1]):
+            raise ValueError(
+                f"matmat returned shape {Y.shape}, expected {(self.shape[0], X.shape[1])}"
+            )
+        return Y
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         y = np.asarray(self._matvec(np.asarray(x, dtype=np.float64)), dtype=np.float64).ravel()

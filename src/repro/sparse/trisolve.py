@@ -223,12 +223,22 @@ class TriangularFactor:
     def solve(self, b: np.ndarray, mode: str | None = None) -> np.ndarray:
         """Solve ``T x = b`` by substitution; returns a fresh array.
 
+        ``b`` may be a vector of length ``n`` or a multi-RHS block of shape
+        ``(n, B)`` — every level's gather/segment-sum/scatter generalizes to
+        ``(rows_in_level, B)`` slabs, and because ``np.add.reduceat`` reduces
+        each column in the same sequential order as the 1-D kernel, column
+        ``b`` of a block solve is *bit-identical* to ``solve(b[:, b])``.
+
         ``mode`` overrides the factor's default path; the level-scheduled
         and row-sequential paths produce bit-identical results.
         """
-        b = np.asarray(b, dtype=np.float64).ravel()
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2):
+            raise ValueError(f"b must be a vector or a 2-D block, got shape {b.shape}")
         if b.shape[0] != self.n:
-            raise ValueError(f"vector length {b.shape[0]} does not match {self.n}")
+            raise ValueError(
+                f"b has {b.shape[0]} rows, expected {self.n} "
+                f"(a length-{self.n} vector or a ({self.n}, B) block)")
         mode = self.mode if mode is None else mode
         if mode == "sequential":
             return self._solve_sequential(b)
@@ -237,11 +247,18 @@ class TriangularFactor:
         return self._solve_levels(b)
 
     def _solve_levels(self, b: np.ndarray) -> np.ndarray:
-        """One vectorized gather + segment sum + scatter per dependency level."""
+        """One vectorized gather + segment sum + scatter per dependency level.
+
+        Handles vectors and ``(n, B)`` blocks with the same code: the gathers
+        pick whole rows of ``x``, the segment sum runs along axis 0, and the
+        diagonal scaling broadcasts across the block axis.
+        """
         x = b.copy()
+        block = x.ndim == 2
         rows_all, level_ptr = self._rows, self._level_ptr
         perm_indptr, perm_indices, perm_data = \
             self._perm_indptr, self._perm_indices, self._perm_data
+        coeff = perm_data[:, None] if block else perm_data
         diag, unit = self.diag, self.unit_diagonal
         for lev in range(self.num_levels):
             r0, r1 = level_ptr[lev], level_ptr[lev + 1]
@@ -250,27 +267,30 @@ class TriangularFactor:
             if e1 > e0:
                 # Every row past level 0 owns >= 1 entry, so the segment
                 # starts are strictly valid reduceat offsets.
-                prods = perm_data[e0:e1] * x[perm_indices[e0:e1]]
-                acc = np.add.reduceat(prods, perm_indptr[r0:r1] - e0)
+                prods = coeff[e0:e1] * x[perm_indices[e0:e1]]
+                acc = np.add.reduceat(prods, perm_indptr[r0:r1] - e0, axis=0)
                 vals = x[rows] - acc
             else:
                 vals = x[rows]
             if not unit:
-                vals = vals / diag[rows]
+                d = diag[rows]
+                vals = vals / (d[:, None] if block else d)
             x[rows] = vals
         return x
 
     def _solve_sequential(self, b: np.ndarray) -> np.ndarray:
         """Row-by-row substitution, bit-identical to the level path."""
         x = b.copy()
+        block = x.ndim == 2
         indptr, indices, data = self.indptr, self.indices, self.data
+        coeff = data[:, None] if block else data
         diag, unit = self.diag, self.unit_diagonal
         order = range(self.n) if self.lower else range(self.n - 1, -1, -1)
         for i in order:
             start, stop = indptr[i], indptr[i + 1]
             if stop > start:
-                prods = data[start:stop] * x[indices[start:stop]]
-                val = x[i] - np.add.reduceat(prods, _SEG0)[0]
+                prods = coeff[start:stop] * x[indices[start:stop]]
+                val = x[i] - np.add.reduceat(prods, _SEG0, axis=0)[0]
             else:
                 val = x[i]
             x[i] = val if unit else val / diag[i]
