@@ -1,14 +1,18 @@
 #!/usr/bin/env python
 """Quickstart: solve a linear system with FT-GMRES and survive an injected SDC.
 
-This example walks through the library's core workflow in four steps:
+This example walks through the library's config-first workflow in four steps:
 
 1. build one of the paper's test problems (a 2-D Poisson system),
-2. solve it failure-free with the nested FT-GMRES solver,
+2. solve it failure-free through the :func:`repro.api.solve` facade,
 3. re-solve it while injecting a single huge silent data corruption (SDC)
    into the inner solver's orthogonalization — and watch it "run through",
-4. enable the paper's Hessenberg-bound detector and see the corruption get
-   caught and filtered.
+4. enable the paper's Hessenberg-bound detector *declaratively* (the string
+   spec ``"bound"``) and see the corruption get caught and filtered.
+
+Everything is configured by a :class:`repro.specs.SolveSpec` — plain data
+that round-trips through JSON — so the exact solver configuration can be
+saved next to the results it produced.
 
 Run with:  python examples/quickstart.py [grid_n]
 """
@@ -20,15 +24,13 @@ import sys
 import numpy as np
 
 from repro import (
-    FTGMRESParameters,
     FaultInjector,
-    GMRESParameters,
-    HessenbergBoundDetector,
     InjectionSchedule,
     ScalingFault,
+    SolveSpec,
     frobenius_norm,
-    ft_gmres,
     poisson_problem,
+    solve,
 )
 
 
@@ -39,8 +41,13 @@ def main(grid_n: int = 30) -> None:
           f"||A||_F = {frobenius_norm(problem.A):.2f}")
 
     # ------------------------------------------------------------------ 2.
-    clean = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=100)
-    print(f"\nFailure-free FT-GMRES: {clean.status.value} after "
+    # The paper's nested solver: 25 unconverged inner GMRES iterations per
+    # reliable outer FGMRES iteration.  These are the ft_gmres defaults, so
+    # the whole configuration is one line of data.
+    spec = SolveSpec(method="ft_gmres", max_outer=100)
+    print(f"\nSolve spec: {spec.to_json(indent=None)}")
+    clean = solve(problem.A, problem.b, spec)
+    print(f"Failure-free FT-GMRES: {clean.status.value} after "
           f"{clean.outer_iterations} outer iterations "
           f"(relative residual {clean.residual_norm / np.linalg.norm(problem.b):.2e}, "
           f"error vs exact solution {problem.error_norm(clean.x):.2e})")
@@ -53,8 +60,7 @@ def main(grid_n: int = 30) -> None:
         InjectionSchedule(site="hessenberg", aggregate_inner_iteration=3,
                           mgs_position="first"),
     )
-    faulty = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=100,
-                      injector=injector)
+    faulty = solve(problem.A, problem.b, spec, injector=injector)
     record = injector.records[0]
     print(f"\nInjected SDC: h = {record.original:.4f} -> {record.corrupted:.3e} "
           f"(inner solve {record.inner_solve_index}, inner iteration "
@@ -65,14 +71,16 @@ def main(grid_n: int = 30) -> None:
           f"error {problem.error_norm(faulty.x):.2e}")
 
     # ------------------------------------------------------------------ 4.
-    detector = HessenbergBoundDetector(frobenius_norm(problem.A))
-    params = FTGMRESParameters(
-        inner=GMRESParameters(tol=0.0, maxiter=25, detector=detector,
-                              detector_response="zero"))
+    # Turning the detector on is a spec edit, not new plumbing: the string
+    # "bound" resolves (via repro.registry) to the paper's Hessenberg-bound
+    # detector built from ||A||_F, and "zero" filters what it flags.
+    protected_spec = spec.replace(
+        inner=SolveSpec(method="gmres", tol=0.0, maxiter=25,
+                        detector="bound", detector_response="zero"))
+    print(f"\nProtected spec: {protected_spec.to_json(indent=None)}")
     injector.reset()
-    protected = ft_gmres(problem.A, problem.b, params=params, max_outer=100,
-                         injector=injector)
-    print(f"\nFT-GMRES with the SDC and the Hessenberg-bound detector: "
+    protected = solve(problem.A, problem.b, protected_spec, injector=injector)
+    print(f"FT-GMRES with the SDC and the Hessenberg-bound detector: "
           f"{protected.status.value} after {protected.outer_iterations} outer iterations; "
           f"faults injected = {protected.faults_injected}, "
           f"detected and filtered = {protected.faults_detected}")

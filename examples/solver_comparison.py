@@ -7,6 +7,12 @@ Chen's Online-ABFT.  This example subjects all three to the same single SDC
 event and compares iterations, extra operator applications, and outcome, on
 both of the paper's problem classes.
 
+The two Krylov strategies are driven through the one :func:`repro.api.solve`
+facade — the *same* call with a different ``method`` in the spec — which is
+the point of the config-first API: strategy comparisons are spec edits, not
+new plumbing.  (The rollback baseline keeps its dedicated entry point: its
+verification/checkpoint machinery is outside the spec surface.)
+
 Run with:  python examples/solver_comparison.py [grid_n] [circuit_n]
 """
 
@@ -16,10 +22,15 @@ import sys
 
 import numpy as np
 
-from repro import ScalingFault, FaultInjector, InjectionSchedule, ft_gmres, gmres
+from repro import ScalingFault, FaultInjector, InjectionSchedule, solve
 from repro.baselines.chen import gmres_with_rollback
 from repro.experiments.report import format_table
 from repro.gallery.problems import circuit_problem, poisson_problem
+
+#: The nested and the flat strategy, as declarative solve specs.
+NESTED_SPEC = {"method": "ft_gmres", "max_outer": 120,
+               "inner": {"method": "gmres", "tol": 0.0, "maxiter": 25}}
+FLAT_SPEC = {"method": "gmres", "tol": 1e-8}
 
 
 def make_injector(location: int = 1):
@@ -34,9 +45,9 @@ def run_case(problem, max_total_iterations: int = 600):
     rows = []
 
     # 1. Nested FT-GMRES (the paper's approach): run through the fault.
-    nested_clean = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=120)
-    nested_faulty = ft_gmres(problem.A, problem.b, inner_iterations=25, max_outer=120,
-                             injector=make_injector())
+    nested_clean = solve(problem.A, problem.b, NESTED_SPEC)
+    nested_faulty = solve(problem.A, problem.b, NESTED_SPEC,
+                          injector=make_injector())
     rows.append([
         "FT-GMRES (run through)",
         f"{nested_clean.outer_iterations} outer",
@@ -45,10 +56,11 @@ def run_case(problem, max_total_iterations: int = 600):
         nested_faulty.status.value,
     ])
 
-    # 2. Flat GMRES, unprotected.
-    flat_clean = gmres(problem.A, problem.b, tol=1e-8, maxiter=max_total_iterations)
-    flat_faulty = gmres(problem.A, problem.b, tol=1e-8, maxiter=max_total_iterations,
-                        injector=make_injector())
+    # 2. Flat GMRES, unprotected — the same facade, a different method.
+    flat_clean = solve(problem.A, problem.b, FLAT_SPEC,
+                       maxiter=max_total_iterations)
+    flat_faulty = solve(problem.A, problem.b, FLAT_SPEC,
+                        maxiter=max_total_iterations, injector=make_injector())
     rows.append([
         "GMRES (unprotected)",
         f"{flat_clean.iterations} iters",

@@ -13,7 +13,10 @@ GMRES:
 * a parallel campaign execution engine with serial/thread/process backends
   and deterministic result ordering (:mod:`repro.exec`);
 * experiment drivers that regenerate every table and figure of the paper's
-  evaluation (:mod:`repro.experiments`).
+  evaluation (:mod:`repro.experiments`);
+* a config-first public API: typed JSON-round-trippable specs
+  (:mod:`repro.specs`), component registries (:mod:`repro.registry`), and the
+  ``solve``/``run_campaign`` facades (:mod:`repro.api`).
 
 Quickstart
 ----------
@@ -77,8 +80,11 @@ from repro.precond import (
     ILU0Preconditioner,
     SSORPreconditioner,
 )
+from repro import api, registry, specs
+from repro.api import solve, run_campaign
+from repro.specs import SolveSpec, ExecutionSpec, CampaignSpec, SpecError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # core solvers
@@ -132,5 +138,15 @@ __all__ = [
     "CampaignExecutor",
     "ProblemFactory",
     "TrialSpec",
+    # config-first public API
+    "api",
+    "registry",
+    "specs",
+    "solve",
+    "run_campaign",
+    "SolveSpec",
+    "ExecutionSpec",
+    "CampaignSpec",
+    "SpecError",
     "__version__",
 ]

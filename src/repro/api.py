@@ -1,0 +1,124 @@
+"""The config-first public API: ``solve`` and ``run_campaign``.
+
+Two facades cover the library's whole execution surface:
+
+* :func:`solve` — one linear solve, any registered solver family
+  (``gmres``, ``fgmres``, ``ft_gmres``, ``cg``), configured by a
+  :class:`~repro.specs.SolveSpec` (or an equivalent dict / keyword set);
+* :func:`run_campaign` — a whole fault-injection campaign, configured by a
+  :class:`~repro.specs.CampaignSpec`, scheduled over any execution backend.
+
+Both consume *specs*: frozen, validated, JSON-round-trippable configuration
+objects whose component fields (preconditioner, detector, fault models,
+gallery problem, backend) resolve through :mod:`repro.registry`.  Both
+return results sharing the common ``to_dict()``/``summary()`` schema
+(:class:`~repro.core.status.SolverResult`,
+:class:`~repro.core.status.NestedSolverResult`,
+:class:`~repro.faults.campaign.TrialRecord`,
+:class:`~repro.faults.campaign.CampaignResult`).
+
+The facades are thin by design: they delegate to the same legacy entry
+points (``gmres``/``fgmres``/``ft_gmres``/``FaultCampaign``) users have
+always called, so a spec-driven solve is bit-identical to the equivalent
+keyword call (asserted in the equivalence suite).
+
+>>> from repro import api
+>>> from repro.gallery.problems import poisson_problem
+>>> p = poisson_problem(10)
+>>> result = api.solve(p.A, p.b, {"method": "gmres", "tol": 1e-10,
+...                               "preconditioner": "jacobi"})
+>>> result.summary()["converged"]
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.status import NestedSolverResult, SolverResult
+from repro.faults.campaign import CampaignResult, FaultCampaign, TrialRecord
+from repro.registry import ResolveContext, registry, resolve_problem
+from repro.specs import CampaignSpec, ExecutionSpec, SolveSpec, SpecError
+
+__all__ = [
+    "solve",
+    "run_campaign",
+    "SolveSpec",
+    "ExecutionSpec",
+    "CampaignSpec",
+    "SpecError",
+    "SolverResult",
+    "NestedSolverResult",
+    "TrialRecord",
+    "CampaignResult",
+]
+
+
+def solve(A, b, spec=None, *, x0=None, injector=None, events=None, **overrides):
+    """Solve ``A x = b`` as described by a solve spec.
+
+    Parameters
+    ----------
+    A : matrix or operator
+        The system operator.
+    b : array_like
+        Right-hand side.
+    spec : SolveSpec, dict, or str, optional
+        The solve configuration.  A string is a solver method name
+        (``"gmres"``, ``"ft_gmres"``, ...); a dict is validated through
+        :meth:`SolveSpec.from_dict`; ``None`` uses the defaults.
+    x0 : array_like, optional
+        Initial guess.
+    injector : FaultInjector, optional
+        Fault injector (``gmres`` and the ``ft_gmres`` inner solves only).
+    events : EventLog, optional
+        Event sink shared with the caller.
+    **overrides
+        Individual :class:`SolveSpec` fields overriding ``spec``, e.g.
+        ``solve(A, b, "ft_gmres", tol=1e-10, detector="bound")``.
+
+    Returns
+    -------
+    SolverResult or NestedSolverResult
+        ``ft_gmres`` returns the nested result; everything else the flat
+        one.  Both expose the common ``summary()``/``to_dict()`` schema.
+    """
+    spec = SolveSpec.coerce(spec, **overrides)
+    entry = registry.entry("solver", spec.method)
+    return entry.factory(ResolveContext(A=A), A=A, b=b, x0=x0, spec=spec,
+                         injector=injector, events=events)
+
+
+def run_campaign(problem=None, spec=None, *, progress=None, **overrides) -> CampaignResult:
+    """Run a fault-injection campaign as described by a campaign spec.
+
+    Parameters
+    ----------
+    problem : TestProblem, str, or dict, optional
+        The system to sweep: a built problem, or a gallery registry spec
+        (``"poisson:30"``, ``{"name": "circuit", "n_nodes": 800}``).  May be
+        omitted when ``spec.problem`` carries the gallery spec instead —
+        a campaign defined purely as a JSON file runs with
+        ``run_campaign(spec=CampaignSpec.load(path))``.
+    spec : CampaignSpec or dict, optional
+        The campaign configuration (defaults: the paper's).
+    progress : callable, optional
+        ``progress(done, total)`` callback, forwarded to the executor.
+    **overrides
+        Individual :class:`CampaignSpec` fields overriding ``spec``, e.g.
+        ``run_campaign(problem, stride=5, detector="bound")``.
+
+    Returns
+    -------
+    CampaignResult
+        Trials in canonical order for every backend (common
+        ``to_dict()``/``summary()`` schema).
+    """
+    spec = CampaignSpec.coerce(spec, **overrides)
+    if problem is not None and not hasattr(problem, "A"):
+        problem = resolve_problem(problem)
+    campaign = FaultCampaign.from_spec(spec, problem=problem)
+    return campaign.run(
+        locations=list(spec.locations) if spec.locations is not None else None,
+        stride=spec.stride,
+        progress=progress,
+        **spec.exec.executor_kwargs(),
+    )

@@ -82,6 +82,15 @@ class Detector:
     def reset(self) -> None:
         """Clear any internal state (e.g. reference norms).  Default: no-op."""
 
+    def to_spec(self):
+        """The registry spec (string or dict) that rebuilds this detector.
+
+        Used by :mod:`repro.specs` to serialize configurations that carry
+        built detector instances.  Subclasses with constructor arguments
+        override this; the argument-free ones serialize as their name.
+        """
+        return self.name
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -157,6 +166,14 @@ class HessenbergBoundDetector(Detector):
         """The threshold actually compared against (``bound * slack``)."""
         return self.bound * self.slack
 
+    def to_spec(self) -> dict:
+        spec = {"name": "bound", "bound": self.bound}
+        if self.slack != 1.0:
+            spec["slack"] = self.slack
+        if not self.check_nonfinite:
+            spec["check_nonfinite"] = False
+        return spec
+
     def check_scalar(self, value: float, site: str = "") -> DetectionResult:
         v = float(value)
         if self.check_nonfinite and not np.isfinite(v):
@@ -196,6 +213,9 @@ class NormGrowthDetector(Detector):
 
     def reset(self) -> None:
         self._reference = 0.0
+
+    def to_spec(self) -> dict:
+        return {"name": "norm_growth", "factor": self.factor, "floor": self.floor}
 
     def check_scalar(self, value: float, site: str = "") -> DetectionResult:
         v = float(value)
@@ -248,6 +268,9 @@ class CompositeDetector(Detector):
     def reset(self) -> None:
         for det in self.detectors:
             det.reset()
+
+    def to_spec(self) -> dict:
+        return {"name": "composite", "members": [d.to_spec() for d in self.detectors]}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompositeDetector({self.detectors!r})"

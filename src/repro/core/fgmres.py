@@ -24,6 +24,7 @@ from repro.core.detectors import Detector
 from repro.core.hessenberg import HessenbergMatrix
 from repro.core.least_squares import LeastSquaresPolicy
 from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
+from repro.registry import resolve_detector
 from repro.sparse.linear_operator import LinearOperator, aslinearoperator
 from repro.utils.events import EventLog
 from repro.utils.validation import as_dense_vector, check_square
@@ -47,8 +48,9 @@ class FGMRESParameters:
     lsq_policy: LeastSquaresPolicy | str = LeastSquaresPolicy.RANK_REVEALING
     lsq_tol: float | None = None
     rank_tol: float | None = None
-    detector: Detector | None = None
+    detector: Detector | str | None = None
     detector_response: str = "flag"
+    bound_method: str = "frobenius"
 
     def replace(self, **changes) -> "FGMRESParameters":
         """Return a copy with the given fields replaced."""
@@ -67,8 +69,9 @@ def fgmres(
     lsq_policy=LeastSquaresPolicy.RANK_REVEALING,
     lsq_tol: float | None = None,
     rank_tol: float | None = None,
-    detector: Detector | None = None,
+    detector: Detector | str | None = None,
     detector_response: str = "flag",
+    bound_method: str = "frobenius",
     events: EventLog | None = None,
     inner_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
 ) -> SolverResult:
@@ -102,13 +105,17 @@ def fgmres(
         Truncation tolerance for the rank-revealing least-squares solve.
     rank_tol : float, optional
         Tolerance for the rank test in the breakdown trichotomy.
-    detector : Detector, optional
-        Invariant detector for the *outer* Hessenberg entries.  Note that the
+    detector : Detector, registry spec, or None
+        Invariant detector for the *outer* Hessenberg entries.  String/dict
+        specs (``"bound"``, ``"bound:two_norm"``) resolve through
+        :mod:`repro.registry` against ``A``.  Note that the
         outer bound involves ``||A z_j||`` rather than ``||A||`` because
         ``z_j`` is not a unit vector; when a detector is supplied here it is
         applied to ``h_ij / ||z_j||`` so the paper's bound still applies.
     detector_response : str
         Response policy for outer detections (same vocabulary as GMRES).
+    bound_method : {"frobenius", "two_norm", "exact"}
+        Norm used when ``detector`` is a spec that computes a bound from ``A``.
     events : EventLog, optional
         Event sink.
     inner_callback : callable, optional
@@ -130,6 +137,7 @@ def fgmres(
     policy = LeastSquaresPolicy.coerce(lsq_policy)
     if orthogonalization not in ("mgs", "cgs", "cgs2"):
         raise ValueError(f"unknown orthogonalization {orthogonalization!r}")
+    detector = resolve_detector(detector, A=A, bound_method=bound_method)
 
     events = events if events is not None else EventLog()
     history = ConvergenceHistory()

@@ -166,6 +166,7 @@ def ft_gmres(
         rank_tol=outer.rank_tol,
         detector=outer.detector,
         detector_response=outer.detector_response,
+        bound_method=outer.bound_method,
         events=events,
     )
 

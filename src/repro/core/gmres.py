@@ -16,17 +16,16 @@ Gram–Schmidt), extended with:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
 
 import numpy as np
 
 from repro.core.arnoldi import ArnoldiContext, arnoldi_step
-from repro.core.detectors import Detector, HessenbergBoundDetector
+from repro.core.detectors import Detector
 from repro.core.hessenberg import HessenbergMatrix
 from repro.core.least_squares import LeastSquaresPolicy
 from repro.core.status import ConvergenceHistory, SolverResult, SolverStatus
+from repro.registry import resolve_detector, resolve_preconditioner_apply
 from repro.sparse.linear_operator import LinearOperator, aslinearoperator
-from repro.sparse.norms import hessenberg_bound
 from repro.utils.events import EventLog
 from repro.utils.validation import as_dense_vector, check_square
 
@@ -72,31 +71,6 @@ class GMRESParameters:
         }
 
 
-def _resolve_preconditioner(preconditioner, n: int) -> Callable[[np.ndarray], np.ndarray] | None:
-    """Accept a Preconditioner, a callable, a matrix-like, or None."""
-    if preconditioner is None:
-        return None
-    if callable(preconditioner):
-        return preconditioner
-    if hasattr(preconditioner, "apply"):
-        return preconditioner.apply
-    op = aslinearoperator(preconditioner)
-    if op.shape != (n, n):
-        raise ValueError(f"preconditioner shape {op.shape} does not match system size {n}")
-    return op.matvec
-
-
-def _resolve_detector(detector, A, bound_method: str) -> Detector | None:
-    """Accept a Detector instance, the string "bound", or None."""
-    if detector is None or isinstance(detector, Detector):
-        return detector
-    if isinstance(detector, str):
-        if detector in ("bound", "hessenberg_bound"):
-            return HessenbergBoundDetector(hessenberg_bound(A, method=bound_method))
-        raise ValueError(f"unknown detector shorthand {detector!r}; expected 'bound'")
-    raise TypeError(f"detector must be a Detector, 'bound', or None, got {type(detector).__name__}")
-
-
 def gmres(
     A,
     b,
@@ -137,18 +111,22 @@ def gmres(
     restart : int, optional
         Restart length ``m``.  ``None`` means no restart (full GMRES up to
         ``maxiter``).
-    preconditioner : Preconditioner, callable, matrix, or None
-        Right preconditioner ``M^{-1}`` applied as ``A M^{-1}``.
+    preconditioner : Preconditioner, callable, matrix, registry spec, or None
+        Right preconditioner ``M^{-1}`` applied as ``A M^{-1}``.  String/dict
+        specs (``"ilu0"``, ``{"name": "ssor", "omega": 1.2}``) resolve
+        through :mod:`repro.registry` against ``A``.
     orthogonalization : {"mgs", "cgs", "cgs2"}
         Orthogonalization variant; the paper uses Modified Gram–Schmidt.
     lsq_policy : LeastSquaresPolicy or str
         Policy for the projected least-squares solve (Section VI-D).
     lsq_tol : float, optional
         Singular-value truncation tolerance for the rank-revealing policies.
-    detector : Detector, "bound", or None
+    detector : Detector, registry spec, or None
         SDC detector applied to every Hessenberg coefficient.  The string
         ``"bound"`` builds a :class:`HessenbergBoundDetector` from ``A``
-        using ``bound_method``.
+        using ``bound_method``; any other registered detector spec
+        (``"nonfinite"``, ``{"name": "norm_growth", "factor": 1e4}``, ...)
+        also resolves here.
     detector_response : {"flag", "zero", "clamp", "recompute", "raise"}
         Response applied when the detector flags a value.
     bound_method : {"frobenius", "two_norm", "exact"}
@@ -181,8 +159,8 @@ def gmres(
         raise ValueError(f"restart must be positive, got {restart}")
     m = min(m, maxiter)
     policy = LeastSquaresPolicy.coerce(lsq_policy)
-    det = _resolve_detector(detector, A, bound_method)
-    apply_precond = _resolve_preconditioner(preconditioner, n)
+    det = resolve_detector(detector, A=A, bound_method=bound_method)
+    apply_precond = resolve_preconditioner_apply(preconditioner, n=n, A=A)
 
     events = events if events is not None else EventLog()
     history = ConvergenceHistory()

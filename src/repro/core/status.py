@@ -128,6 +128,31 @@ class SolverResult:
         """True if the solver reported convergence or a happy breakdown."""
         return self.status in (SolverStatus.CONVERGED, SolverStatus.HAPPY_BREAKDOWN)
 
+    def summary(self) -> dict:
+        """The headline fields (common result schema, ``kind="solver"``)."""
+        return {
+            "kind": "solver",
+            "status": self.status.value,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "residual_norm": self.residual_norm,
+            "matvecs": self.matvecs,
+        }
+
+    def to_dict(self, *, include_solution: bool = False) -> dict:
+        """JSON-ready dict: the summary plus history and event counts.
+
+        ``include_solution`` adds the solution vector itself (omitted by
+        default: it can be large and is rarely what result files are for).
+        """
+        out = self.summary()
+        out["history"] = [float(v) for v in self.history.as_array()]
+        out["events"] = {kind: self.events.count(kind)
+                         for kind in sorted({e.kind for e in self.events})}
+        if include_solution:
+            out["x"] = [float(v) for v in np.asarray(self.x).ravel()]
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SolverResult(status={self.status.value}, iterations={self.iterations}, "
@@ -182,6 +207,28 @@ class NestedSolverResult:
     def faults_detected(self) -> int:
         """Total number of detector hits across the whole solve."""
         return self.events.count("fault_detected")
+
+    def summary(self) -> dict:
+        """The headline fields (common result schema, ``kind="nested_solver"``)."""
+        return {
+            "kind": "nested_solver",
+            "status": self.status.value,
+            "converged": self.converged,
+            "outer_iterations": self.outer_iterations,
+            "total_inner_iterations": self.total_inner_iterations,
+            "residual_norm": self.residual_norm,
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+        }
+
+    def to_dict(self, *, include_solution: bool = False) -> dict:
+        """JSON-ready dict: summary, outer history, per-inner-solve summaries."""
+        out = self.summary()
+        out["history"] = [float(v) for v in self.history.as_array()]
+        out["inner_results"] = [r.summary() for r in self.inner_results]
+        if include_solution:
+            out["x"] = [float(v) for v in np.asarray(self.x).ravel()]
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

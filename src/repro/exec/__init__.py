@@ -8,15 +8,18 @@ per-worker problem construction and deterministic result ordering.  See
 
 from repro.exec.executor import (
     BACKENDS,
+    BACKEND_KNOBS,
     DEFAULT_BATCH_SIZE,
     CampaignExecutor,
     resolve_backend,
     resolve_workers,
+    validate_backend_knobs,
 )
 from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_KNOBS",
     "DEFAULT_BATCH_SIZE",
     "CampaignExecutor",
     "CampaignConfig",
@@ -24,4 +27,5 @@ __all__ = [
     "TrialSpec",
     "resolve_backend",
     "resolve_workers",
+    "validate_backend_knobs",
 ]

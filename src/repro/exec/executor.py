@@ -43,11 +43,32 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolE
 
 from repro.exec.spec import CampaignConfig, TrialSpec
 
-__all__ = ["BACKENDS", "DEFAULT_BATCH_SIZE", "CampaignExecutor", "resolve_workers",
-           "resolve_backend"]
+__all__ = ["BACKENDS", "BACKEND_KNOBS", "BackendKnobError", "DEFAULT_BATCH_SIZE",
+           "CampaignExecutor", "resolve_workers", "resolve_backend",
+           "validate_backend_knobs"]
+
+
+class BackendKnobError(ValueError):
+    """An inconsistent backend/knob combination (a configuration error).
+
+    A distinct type so callers presenting configuration errors (the CLI, the
+    spec layer) can catch it without also swallowing genuine ``ValueError``
+    bugs raised from inside the numerical kernels.
+    """
 
 #: Recognized execution backends.
 BACKENDS = ("serial", "thread", "process", "batched")
+
+#: Which execution knobs each backend consumes.  Combinations outside this
+#: table are rejected up front (see :func:`validate_backend_knobs`) instead
+#: of being silently ignored.  Mirrored as metadata in the ``"backend"``
+#: namespace of :mod:`repro.registry`.
+BACKEND_KNOBS = {
+    "serial": frozenset(),
+    "thread": frozenset({"workers", "chunksize"}),
+    "process": frozenset({"workers", "chunksize"}),
+    "batched": frozenset({"batch_size"}),
+}
 
 #: Default lockstep batch width for the ``"batched"`` backend: wide enough to
 #: amortize interpreter dispatch across the batch, narrow enough that the
@@ -78,12 +99,58 @@ def resolve_workers(workers: int | None = None) -> int:
 
 
 def resolve_backend(backend: str | None, workers: int) -> str:
-    """Resolve a backend name; ``None`` picks ``process`` when ``workers > 1``."""
+    """Resolve a backend name; ``None`` picks ``process`` when ``workers > 1``.
+
+    :class:`CampaignExecutor` additionally auto-selects ``"batched"`` when an
+    explicit ``batch_size`` was given — that rule needs to know whether the
+    worker count was explicit or the ``REPRO_WORKERS`` default, which only
+    the executor can tell.
+    """
     if backend is None:
         return "process" if workers > 1 else "serial"
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     return backend
+
+
+def validate_backend_knobs(backend: str | None, *, workers: int | None = None,
+                           chunksize: int | None = None,
+                           batch_size: int | None = None) -> None:
+    """Reject knob/backend combinations that would be silently ignored.
+
+    Only *explicitly supplied* knobs (non-``None``) are checked, so defaults
+    and the ``REPRO_WORKERS`` environment variable never trip this.
+    ``backend=None`` is always consistent except for the ambiguous
+    ``batch_size`` + ``workers > 1`` pair (see :func:`resolve_backend`).
+    Raises :class:`BackendKnobError` with the knob to drop or the backend to pick.
+    """
+    if backend is not None and backend not in BACKENDS:
+        raise BackendKnobError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend is None:
+        if batch_size is not None and workers is not None and workers > 1:
+            raise BackendKnobError(
+                f"batch_size={batch_size} and workers={workers} are mutually "
+                f"exclusive without an explicit backend: batch_size selects the "
+                f"single-process 'batched' engine; drop one knob or pass backend=")
+        return
+    allowed = BACKEND_KNOBS[backend]
+    if batch_size is not None and "batch_size" not in allowed:
+        raise BackendKnobError(
+            f"batch_size only applies to backend='batched' (it is the lockstep "
+            f"batch width); backend={backend!r} would ignore batch_size="
+            f"{batch_size}. Drop batch_size or use backend='batched'.")
+    if chunksize is not None and "chunksize" not in allowed:
+        raise BackendKnobError(
+            f"chunksize only applies to the pool backends ('thread'/'process'); "
+            f"backend={backend!r} would ignore chunksize={chunksize}. "
+            f"Drop chunksize or use backend='thread'/'process'.")
+    # workers=1 is the serial meaning of "no parallelism" and stays accepted
+    # everywhere; only a parallel worker count on a non-pool backend errors.
+    if workers is not None and workers != 1 and "workers" not in allowed:
+        raise BackendKnobError(
+            f"workers only applies to the pool backends ('thread'/'process'); "
+            f"backend={backend!r} would ignore workers={workers}. "
+            f"Drop workers or use backend='thread'/'process'.")
 
 
 # ---------------------------------------------------------------------- #
@@ -159,13 +226,32 @@ class CampaignExecutor:
             self._local_campaign = config
             config = to_config()
         self.config = config
-        self.workers = resolve_workers(workers)
-        self.backend = resolve_backend(backend, self.workers)
         if chunksize is not None and chunksize <= 0:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
-        self.chunksize = chunksize
         if batch_size is not None and batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        # Explicit knobs must be consistent with the (resolved) backend —
+        # silently ignoring e.g. batch_size under backend="process" hides
+        # configuration mistakes (checked before workers pick up the
+        # REPRO_WORKERS environment default, which never trips this).
+        validate_backend_knobs(backend, workers=workers, chunksize=chunksize,
+                               batch_size=batch_size)
+        self.workers = resolve_workers(workers)
+        if backend is None and batch_size is not None:
+            # An explicit batch_size selects the batched engine.  An explicit
+            # conflicting workers count was already rejected above; the
+            # REPRO_WORKERS environment variable is only a default and must
+            # not veto the explicit knob.
+            self.backend = "batched"
+        else:
+            self.backend = resolve_backend(backend, self.workers)
+        if backend is None:
+            # Re-check the explicit knobs against the auto-selected backend
+            # (workers is exempt here: it either chose the backend or came
+            # from the environment default).
+            validate_backend_knobs(self.backend, chunksize=chunksize,
+                                   batch_size=batch_size)
+        self.chunksize = chunksize
         self.batch_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
 
     # ------------------------------------------------------------------ #

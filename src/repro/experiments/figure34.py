@@ -17,26 +17,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import run_campaign
 from repro.core.detectors import Detector
 from repro.experiments.report import ascii_series_plot, format_table
-from repro.faults.campaign import CampaignResult, FaultCampaign
-from repro.faults.models import FaultModel, PAPER_FAULT_CLASSES
+from repro.faults.campaign import CampaignResult
+from repro.faults.models import FaultModel
 from repro.gallery.problems import TestProblem, circuit_problem, poisson_problem
+from repro.specs import CampaignSpec
 
 __all__ = ["run_fault_sweep", "FigureSweep", "figure3", "figure4"]
 
 
 def run_fault_sweep(
     problem: TestProblem,
+    spec: CampaignSpec | dict | None = None,
     *,
-    mgs_position: str = "first",
-    detector: Detector | str | None = None,
-    detector_response: str = "zero",
-    fault_classes: dict[str, FaultModel] | None = None,
-    inner_iterations: int = 25,
-    max_outer: int = 100,
-    outer_tol: float = 1e-8,
-    stride: int = 1,
+    mgs_position: str | None = None,
+    detector: Detector | str | dict | None = None,
+    detector_response: str | None = None,
+    fault_classes: dict[str, FaultModel] | str | None = None,
+    inner_iterations: int | None = None,
+    max_outer: int | None = None,
+    outer_tol: float | None = None,
+    stride: int | None = None,
     locations=None,
     progress=None,
     backend: str | None = None,
@@ -46,28 +49,46 @@ def run_fault_sweep(
 ) -> CampaignResult:
     """Run one injection sweep (one sub-figure of Figure 3 or 4).
 
-    Parameters mirror :class:`repro.faults.campaign.FaultCampaign`; see there
-    for semantics.  ``stride`` subsamples the injection locations for fast
-    benchmark configurations (``stride=1`` is the paper's exhaustive sweep).
-    ``backend``/``workers``/``chunksize``/``batch_size`` configure the
-    execution engine (see :class:`repro.exec.CampaignExecutor`); results are
-    equivalent to a serial run for any setting (identical for the parallel
-    backends, identical counts/statuses with residuals to ~1e-10 for the
-    trial-batched backend).
+    The sweep is a :class:`~repro.specs.CampaignSpec` run through
+    :func:`repro.api.run_campaign`; pass ``spec`` directly, or use the
+    keyword arguments (which mirror :class:`~repro.faults.campaign.FaultCampaign`,
+    defaults from the CampaignSpec field defaults; ``stride=1`` is the
+    paper's exhaustive sweep).  Keywords override ``spec`` fields when both
+    are given.  ``backend``/``workers``/``chunksize``/``batch_size``
+    configure the execution engine (see :class:`repro.exec.CampaignExecutor`);
+    results are equivalent to a serial run for any setting (identical for
+    the parallel backends, identical counts/statuses with residuals to
+    ~1e-10 for the trial-batched backend).
     """
-    campaign = FaultCampaign(
-        problem,
-        inner_iterations=inner_iterations,
-        max_outer=max_outer,
-        outer_tol=outer_tol,
-        fault_classes=fault_classes if fault_classes is not None else PAPER_FAULT_CLASSES,
-        mgs_position=mgs_position,
-        detector=detector,
-        detector_response=detector_response,
-    )
-    return campaign.run(locations=locations, stride=stride, progress=progress,
-                        backend=backend, workers=workers, chunksize=chunksize,
-                        batch_size=batch_size)
+    spec = CampaignSpec.coerce(spec)
+    if spec.problem is not None:
+        from repro.specs import SpecError
+
+        raise SpecError("problem",
+                        "run_fault_sweep received both a problem argument and "
+                        "spec.problem; drop spec.problem (or use "
+                        "repro.api.run_campaign, which takes either)")
+    fields = {
+        "mgs_position": mgs_position,
+        "detector": detector,
+        "detector_response": detector_response,
+        "fault_classes": fault_classes,
+        "inner_iterations": inner_iterations,
+        "max_outer": max_outer,
+        "outer_tol": outer_tol,
+        "stride": stride,
+        "locations": tuple(locations) if locations is not None else None,
+    }
+    overrides = {key: value for key, value in fields.items() if value is not None}
+    exec_fields = {"backend": backend, "workers": workers,
+                   "chunksize": chunksize, "batch_size": batch_size}
+    exec_overrides = {key: value for key, value in exec_fields.items()
+                      if value is not None}
+    if exec_overrides:
+        overrides["exec"] = spec.exec.replace(**exec_overrides)
+    if overrides:
+        spec = spec.replace(**overrides)
+    return run_campaign(problem, spec, progress=progress)
 
 
 @dataclass

@@ -11,14 +11,31 @@ Regenerates the paper's artifacts without going through pytest:
     python -m repro.experiments.runner summary --scale small --stride 5
     python -m repro.experiments.runner all --scale tiny --stride 10
 
-Each subcommand prints the same report as the corresponding benchmark in
-``benchmarks/`` (tables and ASCII series plots).  The ``--scale`` choices
-match ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/``paper``).
+The sweep experiments are driven by a :class:`~repro.specs.CampaignSpec`,
+which can come from a JSON file and be patched field-by-field:
+
+.. code-block:: bash
+
+    # declarative campaign configuration
+    python -m repro.experiments.runner fig3 --config campaign.json
+
+    # dotted-path overrides on top of flags/config
+    python -m repro.experiments.runner fig3 --scale small \\
+        --set exec.backend=batched --set exec.batch_size=16 \\
+        --set solver.inner.maxiter=25 --set detector=bound
+
+Precedence (last wins): CampaignSpec defaults < ``--config`` file < explicit
+flags (``--stride``/``--detector``/``--inner-iterations``/``--workers``/
+``--backend``/``--batch-size``) < ``--set`` overrides.  Each subcommand
+prints the same report as the corresponding benchmark in ``benchmarks/``
+(tables and ASCII series plots).  The ``--scale`` choices match
+``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/``paper``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 from repro.experiments.figure2 import figure2_comparison
@@ -26,15 +43,24 @@ from repro.experiments.figure34 import FigureSweep, run_fault_sweep
 from repro.experiments.report import format_table
 from repro.experiments.summary import detector_comparison, summarize_campaign
 from repro.experiments.table1 import table1_rows
-from repro.faults.campaign import FaultCampaign
 from repro.gallery.problems import paper_problems
+from repro.exec.executor import BackendKnobError
+from repro.registry import RegistryError
+from repro.registry import names as registry_names
+from repro.registry import resolve_problem
+from repro.specs import CampaignSpec, SpecError, apply_overrides, parse_override_value
 
-__all__ = ["main", "build_parser", "run_experiment"]
+__all__ = ["main", "build_parser", "run_experiment", "build_campaign_spec"]
 
 EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "summary")
 
-#: Outer-iteration budgets per problem used by the sweep experiments.
+#: Outer-iteration budgets per problem used by the sweep experiments (applied
+#: only when neither ``--config`` nor ``--set`` chooses ``max_outer``).
 MAX_OUTER = {"poisson": 100, "circuit": 200}
+
+#: The runner's historical stride default (``--stride`` beats it, and a
+#: config file that sets ``stride`` beats it too).
+DEFAULT_STRIDE = 5
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,13 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", default="small",
                         choices=["tiny", "small", "medium", "paper"],
                         help="problem sizes (paper = Table I sizes)")
-    parser.add_argument("--stride", type=int, default=5,
-                        help="injection-location stride for the sweeps (1 = exhaustive)")
-    parser.add_argument("--detector", default=None, choices=("bound",),
-                        help="enable the Hessenberg-bound detector in the inner solves "
-                             "(omit the flag to disable detection)")
-    parser.add_argument("--inner-iterations", type=int, default=25,
-                        help="inner GMRES iterations per outer iteration")
+    parser.add_argument("--config", default=None, metavar="SPEC.json",
+                        help="campaign spec JSON file (CampaignSpec schema); "
+                             "flags and --set override its fields")
+    parser.add_argument("--set", action="append", default=[], dest="overrides",
+                        metavar="PATH=VALUE",
+                        help="dotted CampaignSpec override applied last, e.g. "
+                             "--set exec.backend=batched --set "
+                             "solver.inner.maxiter=25 (values parse as JSON, "
+                             "falling back to plain strings); repeatable")
+    parser.add_argument("--stride", type=int, default=None,
+                        help=f"injection-location stride for the sweeps "
+                             f"(1 = exhaustive; default {DEFAULT_STRIDE})")
+    parser.add_argument("--detector", default=None,
+                        help="detector spec for the inner solves, e.g. 'bound' "
+                             "(the paper's Hessenberg-bound detector) or any "
+                             f"registered detector {registry_names('detector')}; "
+                             "omit to disable detection")
+    parser.add_argument("--inner-iterations", type=int, default=None,
+                        help="inner GMRES iterations per outer iteration "
+                             "(default 25)")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel workers for the sweeps (default: REPRO_WORKERS "
                              "or 1; 0 = one per CPU)")
@@ -71,6 +110,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trials advanced in lockstep per batch "
                              "(batched backend only; default 32)")
     return parser
+
+
+def build_campaign_spec(args, *, problem_key: str = "poisson") -> CampaignSpec:
+    """The effective CampaignSpec: defaults < --config < flags < --set.
+
+    ``problem_key`` selects the per-problem ``max_outer`` budget that the
+    runner has always applied, used only when neither the config file nor a
+    ``--set`` override chooses ``max_outer`` explicitly.
+    """
+    raw: dict = {}
+    if args.config:
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as exc:
+            raise SpecError("config", f"cannot read {args.config}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SpecError("config", f"{args.config} is not valid JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise SpecError("config", f"{args.config} must hold a JSON object")
+    spec = CampaignSpec.from_dict(raw) if raw else CampaignSpec()
+
+    flag_overrides: dict = {}
+    # The per-problem outer budget is a fallback, applied only when no other
+    # layer (config, config's solver spec, or a --set override) chooses an
+    # outer budget — it must never manufacture a budget conflict.
+    set_paths = {item.partition("=")[0].strip() for item in args.overrides}
+    config_solver = raw.get("solver") if isinstance(raw.get("solver"), dict) else {}
+    if ("max_outer" not in raw and config_solver.get("max_outer") is None
+            and not {"max_outer", "solver.max_outer"} & set_paths):
+        flag_overrides["max_outer"] = MAX_OUTER[problem_key]
+    if args.stride is not None:
+        flag_overrides["stride"] = args.stride
+    elif "stride" not in raw:
+        flag_overrides["stride"] = DEFAULT_STRIDE
+    if args.detector is not None:
+        flag_overrides["detector"] = args.detector
+    if args.inner_iterations is not None:
+        flag_overrides["inner_iterations"] = args.inner_iterations
+    if args.backend is not None:
+        flag_overrides["exec.backend"] = args.backend
+    if args.workers is not None:
+        flag_overrides["exec.workers"] = args.workers
+    if args.batch_size is not None:
+        flag_overrides["exec.batch_size"] = args.batch_size
+    spec = apply_overrides(spec, flag_overrides)
+
+    for item in args.overrides:
+        path, sep, value = item.partition("=")
+        if not sep or not path:
+            raise SpecError("--set", f"expected PATH=VALUE, got {item!r}")
+        spec = apply_overrides(spec, {path.strip(): parse_override_value(value)})
+    return spec
 
 
 def _print_table1(problems, scale: str) -> None:
@@ -91,20 +183,20 @@ def _print_fig2(problems) -> None:
     print("    " + result["nonsymmetric"]["pattern"].replace("\n", "\n    "))
 
 
-def _run_figure(problem, label: str, args) -> None:
+def _sweep_problem(spec: CampaignSpec, problems, key: str):
+    """The problem a sweep runs on: the spec's gallery spec, or the scale's."""
+    if spec.problem is not None:
+        return resolve_problem(spec.problem)
+    return problems[key]
+
+
+def _run_figure(problems, key: str, label: str, args) -> None:
+    spec = build_campaign_spec(args, problem_key=key)
+    problem = _sweep_problem(spec, problems, key)
     panels = {}
     for position in ("first", "last"):
         panels[position] = run_fault_sweep(
-            problem,
-            mgs_position=position,
-            detector=args.detector,
-            inner_iterations=args.inner_iterations,
-            max_outer=MAX_OUTER["poisson" if problem.spd else "circuit"],
-            stride=args.stride,
-            workers=args.workers,
-            backend=args.backend,
-            batch_size=args.batch_size,
-        )
+            problem, spec.replace(problem=None, mgs_position=position))
     figure = FigureSweep(problem_name=problem.name, first=panels["first"],
                          last=panels["last"])
     print(f"{label} — single-SDC sweep on {problem.name}")
@@ -112,16 +204,13 @@ def _run_figure(problem, label: str, args) -> None:
 
 
 def _print_summary(problems, args) -> None:
-    problem = problems["poisson"]
+    spec = build_campaign_spec(args, problem_key="poisson")
+    problem = _sweep_problem(spec, problems, "poisson")
     campaigns = {}
     for detector in (None, "bound"):
-        campaign = FaultCampaign(
-            problem, inner_iterations=args.inner_iterations,
-            max_outer=MAX_OUTER["poisson"], mgs_position="first",
-            detector=detector, detector_response="zero")
-        campaigns[detector] = campaign.run(stride=args.stride, workers=args.workers,
-                                           backend=args.backend,
-                                           batch_size=args.batch_size)
+        campaign_spec = spec.replace(problem=None, mgs_position="first",
+                                     detector=detector, detector_response="zero")
+        campaigns[detector] = run_fault_sweep(problem, campaign_spec)
     comparison = detector_comparison(campaigns[None], campaigns["bound"])
     print("Section VII-E summary (Poisson):")
     for key, campaign in (("without detector", campaigns[None]),
@@ -140,9 +229,9 @@ def run_experiment(name: str, problems, args) -> None:
     elif name == "fig2":
         _print_fig2(problems)
     elif name == "fig3":
-        _run_figure(problems["poisson"], "Figure 3", args)
+        _run_figure(problems, "poisson", "Figure 3", args)
     elif name == "fig4":
-        _run_figure(problems["circuit"], "Figure 4", args)
+        _run_figure(problems, "circuit", "Figure 4", args)
     elif name == "summary":
         _print_summary(problems, args)
     else:  # pragma: no cover - guarded by argparse choices
@@ -155,10 +244,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     problems = paper_problems(args.scale)
-    for i, name in enumerate(names):
-        if i:
-            print("\n" + "=" * 78 + "\n")
-        run_experiment(name, problems, args)
+    try:
+        for i, name in enumerate(names):
+            if i:
+                print("\n" + "=" * 78 + "\n")
+            run_experiment(name, problems, args)
+    except (SpecError, RegistryError, BackendKnobError) as exc:
+        # Bad spec fields, unresolvable component names (e.g. a typo'd
+        # --detector) and execution-knob conflicts are configuration errors,
+        # not crashes: exit code 2 with the offending field/component named.
+        # Anything else (a genuine ValueError from the numerics) propagates
+        # with its traceback.
+        parser.error(str(exc))
     return 0
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.detectors import Detector, HessenbergBoundDetector
+from repro.core.detectors import Detector
 from repro.core.ftgmres import FTGMRESParameters, ft_gmres
 from repro.core.gmres import GMRESParameters
 from repro.core.fgmres import FGMRESParameters
@@ -23,9 +23,21 @@ from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultModel, PAPER_FAULT_CLASSES
 from repro.faults.schedule import InjectionSchedule
 from repro.gallery.problems import TestProblem
-from repro.sparse.norms import hessenberg_bound
+from repro.registry import (
+    resolve_detector,
+    resolve_fault_classes,
+    resolve_preconditioner,
+    resolve_problem,
+)
+from repro.specs import CampaignSpec
 
 __all__ = ["TrialRecord", "CampaignResult", "FaultCampaign", "sweep_injection_locations"]
+
+#: Single source of truth for campaign defaults: the :class:`CampaignSpec`
+#: field defaults.  Both :class:`FaultCampaign` and
+#: :func:`sweep_injection_locations` fill their ``None`` sentinels from here,
+#: so the numbers cannot drift between the declarative and keyword APIs.
+_DEFAULTS = CampaignSpec()
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,30 @@ class TrialRecord:
     faults_injected: int
     faults_detected: int
     detector_enabled: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the common result schema, ``kind="trial"``)."""
+        from dataclasses import asdict
+
+        return {"kind": "trial", **asdict(self)}
+
+    def summary(self) -> dict:
+        """The headline fields of this trial (common result schema)."""
+        return {
+            "kind": "trial",
+            "status": self.status,
+            "converged": self.converged,
+            "fault_class": self.fault_class,
+            "aggregate_inner_iteration": self.aggregate_inner_iteration,
+            "outer_iterations": self.outer_iterations,
+            "residual_norm": self.residual_norm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        data = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**data)
 
 
 @dataclass
@@ -120,6 +156,47 @@ class CampaignResult:
             for cls in self.fault_classes()
         }
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the common result schema, ``kind="campaign"``).
+
+        Round-trips through :meth:`from_dict`, so whole campaign artifacts
+        can be saved next to the spec that produced them.
+        """
+        return {
+            "kind": "campaign",
+            "problem_name": self.problem_name,
+            "mgs_position": self.mgs_position,
+            "inner_iterations": self.inner_iterations,
+            "detector_enabled": self.detector_enabled,
+            "failure_free_outer": self.failure_free_outer,
+            "failure_free_residual": self.failure_free_residual,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        """Rebuild a campaign result from :meth:`to_dict` output."""
+        data = {k: v for k, v in data.items() if k != "kind"}
+        trials = [TrialRecord.from_dict(t) for t in data.pop("trials", [])]
+        return cls(trials=trials, **data)
+
+
+def _merged_budget(solver_field: str, solver_value, campaign_field: str,
+                   campaign_value, campaign_default, error_cls):
+    """Merge a solver-spec budget with its campaign-level counterpart.
+
+    The solver value wins when set; a campaign value that was *also* set
+    (differs from the default) and disagrees is a configuration error rather
+    than something to clobber silently.
+    """
+    if solver_value is None:
+        return campaign_value
+    if campaign_value != campaign_default and campaign_value != solver_value:
+        raise error_cls(solver_field,
+                        f"conflicts with {campaign_field}={campaign_value}; "
+                        f"set only one of them")
+    return solver_value
+
 
 class FaultCampaign:
     """Sweep single-SDC injections over every inner-iteration location.
@@ -140,9 +217,10 @@ class FaultCampaign:
     mgs_position : {"first", "last"}
         Which Modified Gram–Schmidt coefficient to corrupt (Figures 3a/4a use
         "first", 3b/4b use "last").
-    detector : {"bound", None} or Detector
+    detector : Detector, registry spec, or None
         ``"bound"`` enables the paper's Hessenberg-bound detector (built from
-        ``||A||_F``); ``None`` disables detection.
+        ``||A||_F``); ``None`` disables detection; any other registered
+        detector spec (string or dict, see :mod:`repro.registry`) also works.
     detector_response : str
         Response policy when the detector fires (default ``"zero"``:
         filter the impossible value, as the paper advocates).
@@ -156,54 +234,126 @@ class FaultCampaign:
         self,
         problem: TestProblem,
         *,
-        inner_iterations: int = 25,
-        max_outer: int = 100,
-        outer_tol: float = 1e-8,
-        fault_classes: dict[str, FaultModel] | None = None,
-        mgs_position: str = "first",
-        detector: Detector | str | None = None,
-        detector_response: str = "zero",
+        inner_iterations: int | None = None,
+        max_outer: int | None = None,
+        outer_tol: float | None = None,
+        fault_classes: dict[str, FaultModel] | str | None = None,
+        mgs_position: str | None = None,
+        detector: Detector | str | dict | None = None,
+        detector_response: str | None = None,
         inner_params: GMRESParameters | None = None,
         outer_params: FGMRESParameters | None = None,
-        site: str = "hessenberg",
+        site: str | None = None,
     ):
+        # ``None`` sentinels defer to the CampaignSpec field defaults — the
+        # one place the paper's 25/100/1e-8 configuration is written down.
         self.problem = problem
-        self.inner_iterations = int(inner_iterations)
-        self.max_outer = int(max_outer)
-        self.outer_tol = float(outer_tol)
-        self.fault_classes = dict(fault_classes if fault_classes is not None
-                                  else PAPER_FAULT_CLASSES)
+        self.inner_iterations = int(inner_iterations if inner_iterations is not None
+                                    else _DEFAULTS.inner_iterations)
+        self.max_outer = int(max_outer if max_outer is not None else _DEFAULTS.max_outer)
+        self.outer_tol = float(outer_tol if outer_tol is not None else _DEFAULTS.outer_tol)
+        self.fault_classes = resolve_fault_classes(
+            fault_classes if fault_classes is not None else dict(PAPER_FAULT_CLASSES))
+        mgs_position = mgs_position if mgs_position is not None else _DEFAULTS.mgs_position
         if mgs_position not in ("first", "last"):
             raise ValueError(f"mgs_position must be 'first' or 'last', got {mgs_position!r}")
         self.mgs_position = mgs_position
-        self.site = site
-        self.detector_response = detector_response
+        self.site = site if site is not None else _DEFAULTS.site
+        self.detector_response = (detector_response if detector_response is not None
+                                  else _DEFAULTS.detector_response)
         # Keep the constructor *specifications* so worker processes can
         # rebuild an equivalent campaign (see to_config).
         self._detector_spec = detector
         self._inner_params_spec = inner_params
         self._outer_params_spec = outer_params
 
-        resolved_detector: Detector | None
-        if detector is None or isinstance(detector, Detector):
-            resolved_detector = detector
-        elif detector in ("bound", "hessenberg_bound"):
-            resolved_detector = HessenbergBoundDetector(hessenberg_bound(problem.A))
-        else:
-            raise ValueError(f"unknown detector specification {detector!r}")
-        self.detector = resolved_detector
+        self.detector = resolve_detector(detector, A=problem.A)
 
         inner = inner_params or GMRESParameters(tol=0.0, maxiter=self.inner_iterations)
         inner = inner.replace(
             maxiter=self.inner_iterations,
             detector=self.detector,
-            detector_response=detector_response,
+            detector_response=self.detector_response,
         )
+        if isinstance(inner.preconditioner, (str, dict)):
+            inner = inner.replace(preconditioner=resolve_preconditioner(
+                inner.preconditioner, A=problem.A))
         outer = outer_params or FGMRESParameters(tol=self.outer_tol, max_outer=self.max_outer)
         outer = outer.replace(tol=self.outer_tol, max_outer=self.max_outer)
+        if isinstance(outer.detector, (str, dict)):
+            outer = outer.replace(detector=resolve_detector(
+                outer.detector, A=problem.A, bound_method=outer.bound_method))
         self.params = FTGMRESParameters(outer=outer, inner=inner)
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: CampaignSpec | dict, problem: TestProblem | None = None
+                  ) -> "FaultCampaign":
+        """Build a campaign from a declarative :class:`~repro.specs.CampaignSpec`.
+
+        Parameters
+        ----------
+        spec : CampaignSpec or dict
+            The campaign description.  Dicts are validated through
+            :meth:`CampaignSpec.from_dict` first.
+        problem : TestProblem, optional
+            The system to sweep.  Exactly one of this argument and
+            ``spec.problem`` (a gallery registry spec like ``"poisson:30"``)
+            must be given.
+        """
+        from repro.specs import SpecError
+
+        spec = CampaignSpec.coerce(spec)
+        if (problem is None) == (spec.problem is None):
+            raise ValueError(
+                "exactly one of the problem argument and spec.problem must be "
+                "given" if problem is not None else
+                "no problem to sweep: pass a TestProblem or set spec.problem "
+                "to a gallery spec (e.g. 'poisson:30')")
+        if problem is None:
+            problem = resolve_problem(spec.problem)
+        inner_params = outer_params = None
+        inner_iterations, max_outer = spec.inner_iterations, spec.max_outer
+        detector, detector_response = spec.detector, spec.detector_response
+        if spec.solver is not None:
+            solver_params = spec.solver.to_ftgmres_parameters()
+            inner_params, outer_params = solver_params.inner, solver_params.outer
+            inner_spec = spec.solver.inner
+            # The solver spec's explicit inner settings take effect (so e.g.
+            # `--set solver.inner.maxiter=12` or an inner detector do what
+            # they say); they may not contradict a campaign-level setting
+            # that was also given — the campaign constructor would otherwise
+            # clobber them silently.
+            inner_iterations = _merged_budget(
+                "solver.inner.maxiter",
+                inner_spec.maxiter if inner_spec is not None else None,
+                "inner_iterations", spec.inner_iterations,
+                _DEFAULTS.inner_iterations, SpecError)
+            max_outer = _merged_budget(
+                "solver.max_outer", spec.solver.max_outer,
+                "max_outer", spec.max_outer, _DEFAULTS.max_outer, SpecError)
+            if inner_spec is not None and inner_spec.detector is not None:
+                if detector is not None and detector != inner_spec.detector:
+                    raise SpecError("solver.inner.detector",
+                                    f"conflicts with detector={detector!r}; "
+                                    f"set only one of them")
+                detector = inner_spec.detector
+                if inner_spec.detector_response is not None:
+                    detector_response = inner_spec.detector_response
+        return cls(
+            problem,
+            inner_iterations=inner_iterations,
+            max_outer=max_outer,
+            outer_tol=spec.outer_tol,
+            fault_classes=spec.fault_classes,
+            mgs_position=spec.mgs_position,
+            detector=detector,
+            detector_response=detector_response,
+            inner_params=inner_params,
+            outer_params=outer_params,
+            site=spec.site,
+        )
+
     def run_failure_free(self) -> NestedSolverResult:
         """Run the nested solver without any fault injection."""
         return ft_gmres(self.problem.A, self.problem.b, self.problem.x0, params=self.params)
@@ -470,13 +620,13 @@ class FaultCampaign:
 def sweep_injection_locations(
     problem: TestProblem,
     *,
-    fault_classes: dict[str, FaultModel] | None = None,
-    mgs_position: str = "first",
+    fault_classes: dict[str, FaultModel] | str | None = None,
+    mgs_position: str | None = None,
     detector=None,
-    inner_iterations: int = 25,
-    max_outer: int = 100,
-    outer_tol: float = 1e-8,
-    stride: int = 1,
+    inner_iterations: int | None = None,
+    max_outer: int | None = None,
+    outer_tol: float | None = None,
+    stride: int | None = None,
     locations=None,
     backend: str | None = None,
     workers: int | None = None,
@@ -487,7 +637,9 @@ def sweep_injection_locations(
 
     Equivalent to constructing a campaign with the given options and calling
     :meth:`FaultCampaign.run` (including the parallel/batched-execution
-    knobs).
+    knobs).  Defaults (``None``) come from the :class:`~repro.specs.CampaignSpec`
+    field defaults — the same single source :class:`FaultCampaign` uses — so
+    the two entry points cannot drift apart.
     """
     campaign = FaultCampaign(
         problem,
@@ -498,5 +650,7 @@ def sweep_injection_locations(
         mgs_position=mgs_position,
         detector=detector,
     )
-    return campaign.run(locations=locations, stride=stride, backend=backend,
-                        workers=workers, chunksize=chunksize, batch_size=batch_size)
+    return campaign.run(locations=locations,
+                        stride=stride if stride is not None else _DEFAULTS.stride,
+                        backend=backend, workers=workers, chunksize=chunksize,
+                        batch_size=batch_size)

@@ -75,6 +75,15 @@ class FaultModel:
         """One-line human-readable description (used in reports)."""
         return self.name
 
+    def to_spec(self):
+        """The registry spec (string or dict) that rebuilds this model.
+
+        Used by :mod:`repro.specs` to serialize campaign configurations that
+        carry built fault-model instances.  Subclasses with constructor
+        arguments override this; argument-free ones serialize as their name.
+        """
+        return self.name
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -101,6 +110,9 @@ class ScalingFault(FaultModel):
     def describe(self) -> str:
         return f"h * {self.factor:g}"
 
+    def to_spec(self) -> dict:
+        return {"name": "scaling", "factor": self.factor}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ScalingFault(factor={self.factor:g})"
 
@@ -119,6 +131,9 @@ class AbsoluteFault(FaultModel):
     def describe(self) -> str:
         return f"h := {self.replacement:g}"
 
+    def to_spec(self) -> dict:
+        return {"name": "absolute", "replacement": self.replacement}
+
 
 class AdditiveFault(FaultModel):
     """Offset corruption: ``h -> h + delta``."""
@@ -135,6 +150,9 @@ class AdditiveFault(FaultModel):
     def describe(self) -> str:
         return f"h + {self.delta:g}"
 
+    def to_spec(self) -> dict:
+        return {"name": "additive", "delta": self.delta}
+
 
 class ZeroFault(AbsoluteFault):
     """Replace the value with exactly zero (a total loss of information)."""
@@ -146,6 +164,9 @@ class ZeroFault(AbsoluteFault):
 
     def describe(self) -> str:
         return "h := 0"
+
+    def to_spec(self) -> str:
+        return "zero"
 
 
 class NaNFault(AbsoluteFault):
@@ -159,6 +180,9 @@ class NaNFault(AbsoluteFault):
     def describe(self) -> str:
         return "h := NaN"
 
+    def to_spec(self) -> str:
+        return "nan"
+
 
 class InfFault(AbsoluteFault):
     """Replace the value with +Inf (trivially detectable via IEEE-754)."""
@@ -170,6 +194,9 @@ class InfFault(AbsoluteFault):
 
     def describe(self) -> str:
         return "h := Inf"
+
+    def to_spec(self) -> str:
+        return "inf"
 
 
 class BitFlipFault(FaultModel):
@@ -208,6 +235,14 @@ class BitFlipFault(FaultModel):
 
     def describe(self) -> str:
         return f"bit flip (bit={'random' if self.bit is None else self.bit})"
+
+    def to_spec(self) -> dict:
+        spec = {"name": "bitflip"}
+        if self.bit is not None:
+            spec["bit"] = self.bit
+        if self.bits is not None:
+            spec["bits"] = list(self.bits)
+        return spec
 
 
 #: The paper's three corruption classes (Section VII-B-1), keyed by the label

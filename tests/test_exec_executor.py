@@ -152,6 +152,50 @@ class TestExecutorMechanics:
         with pytest.raises(ValueError):
             CampaignExecutor(campaign, chunksize=0)
 
+    def test_batch_size_with_pool_backend_rejected(self, campaign):
+        """Knobs the backend would silently ignore are errors up front."""
+        with pytest.raises(ValueError, match="batch_size"):
+            CampaignExecutor(campaign, backend="process", batch_size=8)
+
+    def test_parallel_workers_with_serial_rejected(self, campaign):
+        with pytest.raises(ValueError, match="workers"):
+            CampaignExecutor(campaign, backend="serial", workers=4)
+
+    def test_chunksize_with_batched_rejected(self, campaign):
+        with pytest.raises(ValueError, match="chunksize"):
+            CampaignExecutor(campaign, backend="batched", chunksize=2)
+
+    def test_workers_one_accepted_everywhere(self, campaign):
+        assert CampaignExecutor(campaign, backend="serial", workers=1).backend == "serial"
+        assert CampaignExecutor(campaign, backend="batched", workers=1).backend == "batched"
+
+    def test_batch_size_auto_selects_batched(self, campaign):
+        executor = CampaignExecutor(campaign, batch_size=4)
+        assert executor.backend == "batched"
+        assert executor.batch_size == 4
+
+    def test_ambiguous_auto_backend_rejected(self, campaign):
+        with pytest.raises(ValueError, match="batch_size"):
+            CampaignExecutor(campaign, workers=4, batch_size=4)
+
+    def test_env_workers_do_not_trip_serial_validation(self, campaign, monkeypatch):
+        """REPRO_WORKERS is a default, not an explicit knob; serial ignores it."""
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        executor = CampaignExecutor(campaign, backend="serial")
+        assert executor.backend == "serial"
+
+    def test_env_workers_do_not_veto_explicit_batch_size(self, campaign, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        executor = CampaignExecutor(campaign, batch_size=8)
+        assert executor.backend == "batched"
+        assert executor.batch_size == 8
+
+    def test_workers_zero_means_one_per_cpu(self, campaign):
+        """workers=0 must stay accepted even when it resolves to 1 CPU."""
+        executor = CampaignExecutor(campaign, workers=0)
+        assert executor.workers >= 1
+        assert executor.backend in ("serial", "process")
+
     def test_non_campaign_config_rejected(self):
         with pytest.raises(TypeError):
             CampaignExecutor(object())
