@@ -9,6 +9,10 @@ with and without the detector's filtering response — making explicit the
 paper's point that the undetectable faults are precisely the ones the nested
 solver runs through anyway.
 
+The campaigns run through the spec-driven ``run_campaign`` facade and the
+table is computed with the ``TrialQuery`` aggregation API — the same code
+would work unchanged on campaigns loaded back from a run store.
+
 Run with:  python examples/detector_study.py [grid_n]
 """
 
@@ -16,9 +20,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import ScalingFault, frobenius_norm, two_norm_estimate
+from repro import frobenius_norm, two_norm_estimate
+from repro.api import run_campaign
 from repro.experiments.report import format_table
-from repro.faults.campaign import FaultCampaign
 from repro.gallery.problems import poisson_problem
 
 MAGNITUDES = {
@@ -39,21 +43,33 @@ def main(grid_n: int = 20) -> None:
     print(f"Problem: {problem.name} ({problem.n} unknowns)")
     print(f"Detector bounds: ||A||_F = {fro:.3f}, ||A||_2 ~ {two:.3f}\n")
 
-    locations = range(0, 30, 3)
+    locations = list(range(0, 30, 3))
     rows = []
     for label, factor in MAGNITUDES.items():
-        fault = {label: ScalingFault(factor)}
-        unprotected = FaultCampaign(problem, inner_iterations=15, max_outer=60,
-                                    fault_classes=fault, detector=None).run(
-            locations=locations)
-        protected = FaultCampaign(problem, inner_iterations=15, max_outer=60,
-                                  fault_classes=fault, detector="bound",
-                                  detector_response="zero").run(locations=locations)
+        base = {
+            "inner_iterations": 15,
+            "max_outer": 60,
+            "locations": locations,
+            # fault models are registry specs, so the whole study is a set of
+            # JSON-serializable campaign specs
+            "fault_classes": {label: f"scaling:{factor!r}"},
+        }
+        unprotected = run_campaign(problem, dict(base, detector=None))
+        protected = run_campaign(problem, dict(base, detector="bound",
+                                               detector_response="zero"))
+
+        def worst_extra(campaign) -> int:
+            query = campaign.query().filter(fault_class=label)
+            return max(int(query.max("outer_iterations"))
+                       - campaign.failure_free_outer, 0)
+
+        detected = (protected.query().filter(fault_class=label)
+                    .rate(lambda t: t.faults_detected > 0))
         rows.append([
             label,
-            f"{protected.detection_rate(label) * 100:.0f}%",
-            f"+{unprotected.max_increase(label)}",
-            f"+{protected.max_increase(label)}",
+            f"{detected * 100:.0f}%",
+            f"+{worst_extra(unprotected)}",
+            f"+{worst_extra(protected)}",
         ])
 
     print(format_table(

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Reproduce Figure 3 (reduced scale): SDC sweep on the Poisson problem.
+"""Reproduce Figure 3 (reduced scale) on the streaming results subsystem.
 
 For every aggregate inner iteration of the nested FT-GMRES solve, this script
 injects a single multiplicative SDC into the first (and then the last)
@@ -7,7 +7,17 @@ Modified Gram-Schmidt coefficient, for the paper's three fault classes, and
 plots (in ASCII) the number of outer iterations needed to converge — the same
 series as the paper's Figure 3.
 
-Run with:  python examples/poisson_fault_sweep.py [grid_n] [stride]
+It demonstrates the results subsystem end to end:
+
+* trials **stream** to the terminal as the backends complete them (a
+  ``console`` event sink);
+* every trial is **checkpointed** into a run store (``runs/`` by default), so
+  killing the script (Ctrl-C, SIGTERM, a crashed process) loses at most the
+  trial in flight — rerunning resumes from where it stopped, and a completed
+  sweep reloads instantly with zero new solves;
+* the figure data is produced from the stored runs through the **query API**.
+
+Run with:  python examples/poisson_fault_sweep.py [grid_n] [stride] [store]
 
 ``grid_n=100`` reproduces the paper's 10,000-row matrix (takes a few minutes);
 the default ``grid_n=30`` finishes in well under a minute.
@@ -17,16 +27,49 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments.figure34 import figure3
+from repro.api import run_campaign
+from repro.experiments.figure34 import FigureSweep, sweep_run_id
+from repro.gallery.problems import poisson_problem
+from repro.results import RunStore
+from repro.results.events import ConsoleSink
+from repro.specs import CampaignSpec
 
 
-def main(grid_n: int = 30, stride: int = 5) -> None:
+def main(grid_n: int = 30, stride: int = 5, store_dir: str = "runs") -> None:
+    problem = poisson_problem(grid_n)
+    store = RunStore(store_dir)
     print(f"Running the Figure 3 sweep on a {grid_n}x{grid_n} Poisson grid "
-          f"({grid_n**2} unknowns), injection-location stride {stride} ...")
-    figure = figure3(grid_n=grid_n, stride=stride, detector=None,
-                     inner_iterations=25, max_outer=100)
+          f"({grid_n**2} unknowns), injection-location stride {stride};")
+    print(f"checkpointing every trial into {store.root}/ (interrupt + rerun "
+          f"to resume).\n")
+
+    panels = {}
+    for position in ("first", "last"):
+        spec = CampaignSpec(mgs_position=position, stride=stride)
+        run_id = sweep_run_id(spec, problem.name, f"example-fig3-{position}")
+        panels[position] = run_campaign(
+            problem, spec,
+            store=store, run_id=run_id, resume=True,   # resume=True: continue
+            sink=ConsoleSink(every=25),                # or reload if complete
+        )
+
+    figure = FigureSweep(problem_name=problem.name,
+                         first=panels["first"], last=panels["last"])
     print()
     print(figure.render(width=70, height=12))
+
+    # The same questions, asked through the query API over the persisted run —
+    # rerun this block any time without re-solving (store.query/load_result).
+    campaign = panels["first"]
+    query = campaign.query()
+    print("\nQuery API, over the persisted run:")
+    for fault_class, trials in query.group_by("fault_class").items():
+        worst = int(trials.max("outer_iterations"))
+        survived = trials.rate(lambda t: t.converged)
+        print(f" * {fault_class:>10}: worst outer = {worst} "
+              f"(failure-free {campaign.failure_free_outer}), "
+              f"converged in {survived * 100:.0f}% of {len(trials)} trials, "
+              f"mean wall time {trials.mean('elapsed') * 1e3:.1f} ms/trial")
 
     print("\nWhat to look for (compare with the paper's Figure 3):")
     print(" * large faults (x1e+150): a visible penalty for faults early in the solve,")
@@ -39,4 +82,5 @@ def main(grid_n: int = 30, stride: int = 5) -> None:
 if __name__ == "__main__":
     grid_n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
     stride = int(sys.argv[2]) if len(sys.argv) > 2 else 5
-    main(grid_n, stride)
+    store_dir = sys.argv[3] if len(sys.argv) > 3 else "runs"
+    main(grid_n, stride, store_dir)

@@ -16,7 +16,10 @@ GMRES:
   evaluation (:mod:`repro.experiments`);
 * a config-first public API: typed JSON-round-trippable specs
   (:mod:`repro.specs`), component registries (:mod:`repro.registry`), and the
-  ``solve``/``run_campaign`` facades (:mod:`repro.api`).
+  ``solve``/``run_campaign``/``iter_trials`` facades (:mod:`repro.api`);
+* a streaming results subsystem (:mod:`repro.results`): a unified structured
+  event bus, a persistent run store with checkpoint/resume at trial
+  granularity, and a filter/group/aggregate query API over stored runs.
 
 Quickstart
 ----------
@@ -80,9 +83,16 @@ from repro.precond import (
     ILU0Preconditioner,
     SSORPreconditioner,
 )
-from repro import api, registry, specs
-from repro.api import solve, run_campaign
-from repro.specs import SolveSpec, ExecutionSpec, CampaignSpec, SpecError
+from repro import api, registry, results, specs
+from repro.api import solve, run_campaign, iter_trials
+from repro.results import (
+    Event,
+    EventSink,
+    RunStore,
+    RunStoreError,
+    TrialQuery,
+)
+from repro.specs import SolveSpec, ExecutionSpec, CampaignSpec, SpecError, spec_hash
 
 __version__ = "1.1.0"
 
@@ -148,5 +158,14 @@ __all__ = [
     "ExecutionSpec",
     "CampaignSpec",
     "SpecError",
+    "spec_hash",
+    # streaming results subsystem
+    "results",
+    "iter_trials",
+    "Event",
+    "EventSink",
+    "RunStore",
+    "RunStoreError",
+    "TrialQuery",
     "__version__",
 ]

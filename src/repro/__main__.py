@@ -1,0 +1,10 @@
+"""``python -m repro`` — dispatches to the experiment runner CLI.
+
+Equivalent to the ``repro`` console script installed by the package; see
+:mod:`repro.experiments.runner` for the commands and options.
+"""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,12 +35,16 @@ from __future__ import annotations
 
 from repro.core.status import NestedSolverResult, SolverResult
 from repro.faults.campaign import CampaignResult, FaultCampaign, TrialRecord
-from repro.registry import ResolveContext, registry, resolve_problem
+from repro.registry import ResolveContext, registry, resolve_problem, resolve_sink
+from repro.results.events import ensure_sink
+from repro.results.query import TrialQuery
+from repro.results.store import RunManifest, RunStore, RunStoreError
 from repro.specs import CampaignSpec, ExecutionSpec, SolveSpec, SpecError
 
 __all__ = [
     "solve",
     "run_campaign",
+    "iter_trials",
     "SolveSpec",
     "ExecutionSpec",
     "CampaignSpec",
@@ -49,6 +53,9 @@ __all__ = [
     "NestedSolverResult",
     "TrialRecord",
     "CampaignResult",
+    "TrialQuery",
+    "RunStore",
+    "RunStoreError",
 ]
 
 
@@ -87,7 +94,9 @@ def solve(A, b, spec=None, *, x0=None, injector=None, events=None, **overrides):
                          injector=injector, events=events)
 
 
-def run_campaign(problem=None, spec=None, *, progress=None, **overrides) -> CampaignResult:
+def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
+                 store=None, run_id=None, resume=False,
+                 **overrides) -> CampaignResult:
     """Run a fault-injection campaign as described by a campaign spec.
 
     Parameters
@@ -101,24 +110,170 @@ def run_campaign(problem=None, spec=None, *, progress=None, **overrides) -> Camp
     spec : CampaignSpec or dict, optional
         The campaign configuration (defaults: the paper's).
     progress : callable, optional
-        ``progress(done, total)`` callback, forwarded to the executor.
-    **overrides
-        Individual :class:`CampaignSpec` fields overriding ``spec``, e.g.
-        ``run_campaign(problem, stride=5, detector="bound")``.
+        ``progress(done, total)`` callback (thin adapter over the event bus).
+    sink : EventSink, callable, or registered sink spec, optional
+        Receives campaign lifecycle events as the campaign runs
+        (``"jsonl:runs/"``, ``"console"``, a
+        :class:`~repro.results.events.CollectingSink`, ...).
+    store : RunStore or path, optional
+        Persist the run: every completed trial is appended to
+        ``<store>/<run_id>/trials.jsonl`` (flushed per trial), under a
+        manifest carrying the full spec, its hash, the problem seed, and the
+        repro version.  A crash at trial N loses at most the trial being
+        written.
+    run_id : str, optional
+        Name of the stored run.  Defaults to
+        ``"<problem name>-<fingerprint8>"`` — deterministic in (spec,
+        problem), so a rerun of the same campaign finds its own store entry.
+    resume : bool
+        Continue an interrupted stored run: verifies the spec fingerprint,
+        recovers a torn JSONL tail, re-runs only the missing trials, and
+        returns the merged result — trial-identical to an uninterrupted run
+        (the batched backend per its documented 1e-10 residual contract).
+        A resumed run that is already complete returns immediately with
+        zero new solves.  ``resume=True`` on a run that does not exist yet
+        simply starts it.
 
     Returns
     -------
     CampaignResult
         Trials in canonical order for every backend (common
-        ``to_dict()``/``summary()`` schema).
+        ``to_dict()``/``summary()`` schema), stamped with provenance
+        (``repro_version``, ``seed``, ``spec_hash``).
     """
     spec = CampaignSpec.coerce(spec, **overrides)
     if problem is not None and not hasattr(problem, "A"):
         problem = resolve_problem(problem)
     campaign = FaultCampaign.from_spec(spec, problem=problem)
-    return campaign.run(
+    # A sink built here from a registered spec is owned here and closed on
+    # the way out; caller-supplied instances stay the caller's to close.
+    owns_sink = isinstance(sink, (str, dict, tuple))
+    sink = ensure_sink(resolve_sink(sink))
+    try:
+        if store is None:
+            if resume or run_id is not None:
+                raise RunStoreError("resume=/run_id= require store=")
+            return campaign.run(
+                locations=(list(spec.locations) if spec.locations is not None
+                           else None),
+                stride=spec.stride,
+                progress=progress,
+                sink=sink,
+                **spec.exec.executor_kwargs(),
+            )
+        return _run_stored_campaign(campaign, spec, RunStore.coerce(store),
+                                    run_id=run_id, resume=resume,
+                                    progress=progress, sink=sink)
+    finally:
+        if owns_sink and sink is not None:
+            sink.close()
+
+
+def iter_trials(problem=None, spec=None, **overrides):
+    """Stream a campaign's trial records as the backends complete them.
+
+    A lazy generator over the serial backend (each record is yielded before
+    the next trial starts); windowed over the thread/process/batched
+    backends (records arrive per completed chunk/batch, in completion
+    order).  Each record is provenance-stamped.  Closing the generator early
+    shuts the execution backend down cleanly.
+
+    Arguments are as for :func:`run_campaign` (minus the store/observer
+    machinery — for persistent streaming, use ``run_campaign(store=...)``;
+    for the full result object, use :func:`run_campaign`).
+
+    Yields
+    ------
+    TrialRecord
+    """
+    spec = CampaignSpec.coerce(spec, **overrides)
+    if problem is not None and not hasattr(problem, "A"):
+        problem = resolve_problem(problem)
+    campaign = FaultCampaign.from_spec(spec, problem=problem)
+    plan = campaign.plan(
         locations=list(spec.locations) if spec.locations is not None else None,
-        stride=spec.stride,
-        progress=progress,
-        **spec.exec.executor_kwargs(),
-    )
+        stride=spec.stride)
+    exec_kwargs = spec.exec.executor_kwargs()
+    for _, record in campaign.iter_records(plan.specs, **exec_kwargs):
+        yield record
+
+
+# ---------------------------------------------------------------------- #
+# store-backed execution (checkpoint / resume)
+# ---------------------------------------------------------------------- #
+def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
+                         progress, sink) -> CampaignResult:
+    """Execute a campaign with trial-granularity checkpointing in a store."""
+    fingerprint = campaign.provenance["spec_hash"]
+    if run_id is None:
+        run_id = f"{campaign.problem.name}-{fingerprint[:8]}"
+
+    completed: list = []
+    if resume and store.exists(run_id):
+        manifest = store.manifest(run_id)
+        if manifest.spec_hash != fingerprint:
+            raise RunStoreError(
+                f"run {run_id!r} was produced by a different campaign "
+                f"(stored spec hash {manifest.spec_hash}, this campaign "
+                f"{fingerprint}); choose another run_id")
+        completed = store.recover(run_id)  # also truncates a torn tail
+        plan = campaign.plan(
+            locations=manifest.locations,
+            baseline=(manifest.failure_free_outer,
+                      manifest.failure_free_residual))
+    else:
+        if store.exists(run_id):
+            raise RunStoreError(
+                f"run {run_id!r} already exists in {store.root}; pass "
+                f"resume=True to continue it or choose another run_id")
+        plan = campaign.plan(
+            locations=list(spec.locations) if spec.locations is not None else None,
+            stride=spec.stride)
+        manifest = RunManifest(
+            run_id=run_id,
+            spec=spec.replace(problem=None).to_dict(),
+            spec_hash=fingerprint,
+            problem_name=campaign.problem.name,
+            repro_version=campaign.provenance["repro_version"],
+            seed=campaign.provenance["seed"],
+            mgs_position=campaign.mgs_position,
+            inner_iterations=campaign.inner_iterations,
+            detector_enabled=campaign.detector is not None,
+            failure_free_outer=plan.failure_free_outer,
+            failure_free_residual=plan.failure_free_residual,
+            locations=list(plan.locations),
+            fault_classes=list(campaign.fault_classes),
+            total_trials=len(plan.specs),
+            created_at=_utc_now(),
+        )
+
+    done_indices = {index for index, _ in completed}
+    remaining = [s for s in plan.specs if s.index not in done_indices]
+
+    if remaining:
+        writer = store.create_run(manifest, resume=bool(completed) or resume)
+        try:
+            result = campaign.run_plan(
+                plan, specs=remaining, progress=progress, sink=sink,
+                # Persist first, observe second (run_plan's contract): an
+                # interrupt raised by a sink never loses a completed trial.
+                on_record=writer.append, completed=completed,
+                event_data={"run_id": run_id},
+                **spec.exec.executor_kwargs())
+        finally:
+            writer.close()
+    else:
+        if not store.exists(run_id):
+            # A zero-trial campaign still persists its manifest.
+            store.create_run(manifest, resume=resume).close()
+        result = campaign.run_plan(plan, specs=(), progress=progress,
+                                   sink=sink, completed=completed,
+                                   event_data={"run_id": run_id})
+    store.finalize(run_id)
+    return result
+
+
+def _utc_now() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")

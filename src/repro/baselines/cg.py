@@ -73,7 +73,7 @@ def cg(
     else:
         apply_m = aslinearoperator(preconditioner).matvec
 
-    events = events if events is not None else EventLog()
+    events = EventLog.ensure(events)
     history = ConvergenceHistory()
 
     norm_b = float(np.linalg.norm(b))

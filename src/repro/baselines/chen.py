@@ -120,7 +120,7 @@ def gmres_with_rollback(
     b = as_dense_vector(b, n, "b")
     x_checkpoint = as_dense_vector(x0, n, "x0") if x0 is not None else np.zeros(n)
 
-    events = events if events is not None else EventLog()
+    events = EventLog.ensure(events)
     norm_b = float(np.linalg.norm(b))
     target = tol * norm_b if norm_b > 0.0 else tol
 

@@ -158,10 +158,9 @@ class ArnoldiContext:
         self.events.record(
             "fault_detected", where=site,
             outer_iteration=self.outer_iteration, inner_iteration=iteration,
-            mgs_index=mgs_index, value=float(value), bound=verdict.bound,
-            detector=verdict.detector, reason=verdict.reason,
-            response=self.detector_response,
+            mgs_index=mgs_index, response=self.detector_response,
             aggregate_inner_iteration=self.iteration_offset + iteration,
+            **{**verdict.event_data(), "value": float(value)},
         )
         if self.detector_response == "flag":
             return value

@@ -872,10 +872,9 @@ class _BatchedNestedSolve:
                         inner_events[pos].record(
                             "fault_detected", where=site,
                             outer_iteration=o, inner_iteration=j,
-                            mgs_index=index, value=value, bound=verdict.bound,
-                            detector=verdict.detector, reason=verdict.reason,
-                            response=response,
-                            aggregate_inner_iteration=offset + j)
+                            mgs_index=index, response=response,
+                            aggregate_inner_iteration=offset + j,
+                            **{**verdict.event_data(), "value": value})
                         if response == "zero":
                             values[pos] = 0.0
                         elif response == "clamp":

@@ -56,6 +56,21 @@ class DetectionResult:
     def __bool__(self) -> bool:
         return self.flagged
 
+    def event_data(self) -> dict:
+        """The verdict as ``fault_detected`` event payload fields.
+
+        One schema for every recording site (scalar screening in the Arnoldi
+        step, outer-coefficient screening in FGMRES, the vectorized mirror in
+        the batched engine), so event consumers never special-case the
+        producer.
+        """
+        return {
+            "value": self.value,
+            "bound": self.bound,
+            "detector": self.detector,
+            "reason": self.reason,
+        }
+
 
 _NOT_FLAGGED = DetectionResult(False)
 

@@ -116,8 +116,9 @@ def fgmres(
         Response policy for outer detections (same vocabulary as GMRES).
     bound_method : {"frobenius", "two_norm", "exact"}
         Norm used when ``detector`` is a spec that computes a bound from ``A``.
-    events : EventLog, optional
-        Event sink.
+    events : EventLog, EventSink, or callable, optional
+        Event destination (any :class:`~repro.results.events.EventSink`
+        streams the events as they are recorded).
     inner_callback : callable, optional
         ``inner_callback(j, q_j, z_j)`` invoked after every inner solve;
         used by FT-GMRES to harvest inner results.
@@ -139,7 +140,7 @@ def fgmres(
         raise ValueError(f"unknown orthogonalization {orthogonalization!r}")
     detector = resolve_detector(detector, A=A, bound_method=bound_method)
 
-    events = events if events is not None else EventLog()
+    events = EventLog.ensure(events)
     history = ConvergenceHistory()
 
     norm_b = float(np.linalg.norm(b))
@@ -284,8 +285,8 @@ def _screen_outer(h: float, z_norm: float, detector: Detector | None, response: 
     if not verdict.flagged:
         return h
     events.record("fault_detected", where="outer_hessenberg", outer_iteration=outer_iteration,
-                  mgs_index=mgs_index, value=h, bound=verdict.bound, detector=verdict.detector,
-                  response=response)
+                  mgs_index=mgs_index, response=response,
+                  **{**verdict.event_data(), "value": h})
     if response == "zero":
         return 0.0
     if response == "clamp":

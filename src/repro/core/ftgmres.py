@@ -89,8 +89,10 @@ def ft_gmres(
         Explicit sandbox marking the unreliable region.  When omitted but an
         injector is supplied, a fresh sandbox is created; the injector is
         activated only while an inner solve is running inside it.
-    events : EventLog, optional
-        Merged event sink for the whole nested solve.
+    events : EventLog, EventSink, or callable, optional
+        Merged event destination for the whole nested solve (any
+        :class:`~repro.results.events.EventSink` streams the events: outer
+        events as they happen, each inner solve's events when it completes).
 
     Returns
     -------
@@ -113,7 +115,7 @@ def ft_gmres(
     if sandbox is not None and injector is not None and hasattr(injector, "attach_sandbox"):
         injector.attach_sandbox(sandbox)
 
-    events = events if events is not None else EventLog()
+    events = EventLog.ensure(events)
     op = aslinearoperator(A)
     n = op.shape[0]
     inner_budget = params.inner_iterations

@@ -134,8 +134,12 @@ def gmres(
     injector : FaultInjector, optional
         Fault injector with access to the named sites (see
         :mod:`repro.core.arnoldi`).
-    events : EventLog, optional
-        Event sink; a new log is created when omitted.
+    events : EventLog, EventSink, or callable, optional
+        Event destination.  An :class:`EventLog` is used directly; any other
+        :class:`~repro.results.events.EventSink` (or bare callable) receives
+        every event as it is recorded, streamed through a fresh log.  A new
+        log is created when omitted; the log ends up on the result either
+        way.
     outer_iteration, inner_solve_index, iteration_offset : int
         Bookkeeping for nested (FT-GMRES) use: they position this solve's
         iterations on the "aggregate inner iteration" axis of the paper's
@@ -162,7 +166,7 @@ def gmres(
     det = resolve_detector(detector, A=A, bound_method=bound_method)
     apply_precond = resolve_preconditioner_apply(preconditioner, n=n, A=A)
 
-    events = events if events is not None else EventLog()
+    events = EventLog.ensure(events)
     history = ConvergenceHistory()
     ctx = ArnoldiContext(
         injector=injector,

@@ -31,8 +31,12 @@ Design invariants:
   and should be swept serially.
 * **Chunked dispatch.**  Specs are dispatched in chunks to amortize
   inter-process messaging over many ~25 ms solves.
-* **Progress callbacks.**  ``progress(done, total)`` fires per trial in
-  serial mode and per completed chunk in parallel mode.
+* **Streaming completion.**  :meth:`CampaignExecutor.iter_records` yields
+  ``(index, record)`` pairs as trials complete on every backend (lazily on
+  serial, per completed chunk/batch on the others) — the primitive under
+  ``run()``, the ``iter_trials()`` facade, and the run store's incremental
+  checkpointing.  ``progress(done, total)`` callbacks fire per completed
+  trial.
 """
 
 from __future__ import annotations
@@ -264,7 +268,7 @@ class CampaignExecutor:
             The work list.  ``spec.index`` values must be unique; they define
             the output order.
         progress : callable, optional
-            ``progress(done, total)`` callback.
+            ``progress(done, total)`` callback, fired per completed trial.
 
         Returns
         -------
@@ -274,17 +278,44 @@ class CampaignExecutor:
         """
         specs = list(specs)
         total = len(specs)
+        records: list[tuple[int, object]] = []
+        for index, record in self.iter_records(specs):
+            records.append((index, record))
+            if progress is not None:
+                progress(len(records), total)
+        records.sort(key=lambda pair: pair[0])
+        return [record for _, record in records]
+
+    def iter_records(self, specs):
+        """Stream ``(index, record)`` pairs as trials complete.
+
+        This is the executor's streaming primitive — :meth:`run`, the
+        :func:`repro.api.iter_trials` facade, and the run store's
+        incremental checkpointing are all built on it.  Records arrive in
+        *completion* order: lazily one-by-one on the serial backend, per
+        completed chunk on the pool backends (windowed submission), per
+        completed batch on the lockstep batched backend.  Consuming the
+        generator partially is safe on every backend (pools shut down when
+        the generator is closed), which is what makes mid-campaign
+        interruption recoverable.
+        """
+        specs = list(specs)
+        total = len(specs)
         if total == 0:
-            return []
+            return
         indices = [spec.index for spec in specs]
         if len(set(indices)) != total:
             raise ValueError("trial spec indices must be unique")
 
         if self.backend == "batched":
-            return self._run_batched(specs, progress, total)
-        if self.backend == "serial" or self.workers <= 1 or total == 1:
-            return self._run_serial(specs, progress, total)
-        return self._run_pool(specs, progress, total)
+            yield from self._campaign().iter_specs_batched(
+                specs, batch_size=self.batch_size)
+        elif self.backend == "serial" or self.workers <= 1 or total == 1:
+            campaign = self._campaign()
+            for spec in specs:
+                yield spec.index, campaign.run_spec(spec)
+        else:
+            yield from self._iter_pool(specs)
 
     # ------------------------------------------------------------------ #
     def _campaign(self):
@@ -292,34 +323,17 @@ class CampaignExecutor:
             self._local_campaign = self.config.build_campaign()
         return self._local_campaign
 
-    def _run_batched(self, specs, progress, total) -> list:
-        """Lockstep execution in this process (see :mod:`repro.core.batched`)."""
-        return self._campaign().run_specs_batched(
-            specs, batch_size=self.batch_size, progress=progress,
-            progress_total=total)
-
-    def _run_serial(self, specs, progress, total) -> list:
-        campaign = self._campaign()
-        records = []
-        for done, spec in enumerate(specs, start=1):
-            records.append((spec.index, campaign.run_spec(spec)))
-            if progress is not None:
-                progress(done, total)
-        records.sort(key=lambda pair: pair[0])
-        return [record for _, record in records]
-
-    def _run_pool(self, specs, progress, total) -> list:
-        workers = min(self.workers, total)
+    def _iter_pool(self, specs):
+        workers = min(self.workers, len(specs))
         chunks = self._chunk(specs, workers)
         if self.backend == "process":
             pool_cls, init, run_chunk = ProcessPoolExecutor, _process_init, _process_chunk
         else:
             pool_cls, init, run_chunk = ThreadPoolExecutor, _thread_init, _thread_chunk
 
-        results: list[tuple[int, object]] = []
-        done = 0
-        with pool_cls(max_workers=workers, initializer=init,
-                      initargs=(self.config,)) as pool:
+        pool = pool_cls(max_workers=workers, initializer=init,
+                        initargs=(self.config,))
+        try:
             # Windowed submission: keep every worker busy without queueing
             # the entire campaign's pending futures at once.
             window = workers * _IN_FLIGHT_PER_WORKER
@@ -329,16 +343,14 @@ class CampaignExecutor:
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    chunk_result = future.result()
-                    results.extend(chunk_result)
-                    done += len(chunk_result)
-                    if progress is not None:
-                        progress(done, total)
+                    yield from future.result()
                 for chunk in _take(chunk_iter, len(finished)):
                     pending.add(pool.submit(run_chunk, chunk))
-
-        results.sort(key=lambda pair: pair[0])
-        return [record for _, record in results]
+        finally:
+            # On early generator close (or an observer exception), drop the
+            # submitted-but-unstarted chunks instead of running them out —
+            # only chunks already executing finish.
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _chunk(self, specs, workers) -> list[list[TrialSpec]]:
         chunksize = self.chunksize

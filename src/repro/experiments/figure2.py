@@ -15,7 +15,8 @@ import numpy as np
 from repro.core.arnoldi import arnoldi_process
 from repro.utils.rng import as_generator
 
-__all__ = ["hessenberg_structure", "figure2_comparison", "pattern_string"]
+__all__ = ["hessenberg_structure", "figure2_comparison", "figure2_payload",
+           "pattern_string"]
 
 
 def pattern_string(H: np.ndarray, tol_scale: float = 1e-10) -> str:
@@ -91,3 +92,17 @@ def figure2_comparison(spd_matrix, nonsymmetric_matrix, steps: int = 8, seed=3) 
         "nonsymmetric": nonsym,
         "consistent_with_paper": bool(spd["is_tridiagonal"] and not nonsym["is_tridiagonal"]),
     }
+
+
+def figure2_payload(spd_matrix, nonsymmetric_matrix, steps: int = 8, seed=3) -> dict:
+    """The JSON-persistable subset of :func:`figure2_comparison`.
+
+    What the runner stores as a :meth:`~repro.results.store.RunStore.save_artifact`
+    payload and reprints under ``--from-store``: the reported fields only
+    (the raw ``H`` matrices are not needed to regenerate the report).
+    """
+    full = figure2_comparison(spd_matrix, nonsymmetric_matrix, steps=steps,
+                              seed=seed)
+    return {cls: {key: full[cls][key]
+                  for key in ("is_tridiagonal", "bandwidth", "pattern")}
+            for cls in ("spd", "nonsymmetric")}

@@ -19,13 +19,15 @@ from dataclasses import dataclass, field
 
 from repro.api import run_campaign
 from repro.core.detectors import Detector
-from repro.experiments.report import ascii_series_plot, format_table
+from repro.experiments.report import (ascii_series_plot, campaign_class_table,
+                                      format_table)
 from repro.faults.campaign import CampaignResult
 from repro.faults.models import FaultModel
 from repro.gallery.problems import TestProblem, circuit_problem, poisson_problem
 from repro.specs import CampaignSpec
 
-__all__ = ["run_fault_sweep", "FigureSweep", "figure3", "figure4"]
+__all__ = ["run_fault_sweep", "load_fault_sweep", "sweep_run_id", "FigureSweep",
+           "figure3", "figure4"]
 
 
 def run_fault_sweep(
@@ -46,6 +48,10 @@ def run_fault_sweep(
     workers: int | None = None,
     chunksize: int | None = None,
     batch_size: int | None = None,
+    sink=None,
+    store=None,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run one injection sweep (one sub-figure of Figure 3 or 4).
 
@@ -59,6 +65,12 @@ def run_fault_sweep(
     results are equivalent to a serial run for any setting (identical for
     the parallel backends, identical counts/statuses with residuals to
     ~1e-10 for the trial-batched backend).
+
+    ``sink``/``store``/``run_id``/``resume`` are forwarded to
+    :func:`repro.api.run_campaign`: the sweep streams lifecycle events to the
+    sink, checkpoints each trial into the store, and resumes an interrupted
+    sweep from it; :func:`load_fault_sweep` rebuilds a completed sweep with
+    zero new solves.
     """
     spec = CampaignSpec.coerce(spec)
     if spec.problem is not None:
@@ -88,7 +100,37 @@ def run_fault_sweep(
         overrides["exec"] = spec.exec.replace(**exec_overrides)
     if overrides:
         spec = spec.replace(**overrides)
-    return run_campaign(problem, spec, progress=progress)
+    return run_campaign(problem, spec, progress=progress, sink=sink,
+                        store=store, run_id=run_id, resume=resume)
+
+
+def sweep_run_id(spec: "CampaignSpec", problem_name: str, label: str) -> str:
+    """The deterministic store id of one sweep: ``<label>-<fingerprint8>``.
+
+    Deterministic in (spec, problem), so rerunning the same configuration
+    resumes (or regenerates from) its own store entry, and a changed
+    configuration lands in a fresh one instead of colliding.  Execution
+    knobs are excluded from the fingerprint (see
+    :func:`~repro.results.store.campaign_fingerprint`): a sweep run with
+    ``--workers 4`` and its serial resume share one store entry.
+    """
+    from repro.results.store import campaign_fingerprint
+
+    return f"{label}-{campaign_fingerprint(spec, problem_name)[:8]}"
+
+
+def load_fault_sweep(store, spec: "CampaignSpec", problem_name: str,
+                     label: str) -> CampaignResult:
+    """Rebuild one stored sweep — zero new solves.
+
+    The run is located by its deterministic :func:`sweep_run_id`; a missing
+    or incomplete run raises :class:`~repro.results.store.RunStoreError`
+    telling the user to run (or resume) with the store first.
+    """
+    from repro.results.store import RunStore
+
+    return RunStore.coerce(store).load_result(
+        sweep_run_id(spec, problem_name, label))
 
 
 @dataclass
@@ -123,18 +165,7 @@ class FigureSweep:
                     xlabel="aggregate inner solve iteration that faults",
                     ylabel="outer iterations",
                 ))
-            rows = [
-                [cls,
-                 campaign.max_outer(cls),
-                 campaign.max_increase(cls),
-                 f"{campaign.percent_increase(cls):.1f}%",
-                 f"{campaign.detection_rate(cls) * 100:.0f}%"]
-                for cls in campaign.fault_classes()
-            ]
-            chunks.append(format_table(
-                ["fault class", "worst outer", "max increase", "% increase", "detected"],
-                rows,
-            ))
+            chunks.append(format_table(*campaign_class_table(campaign)))
         return "\n\n".join(chunks)
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["format_table", "format_markdown_table", "ascii_series_plot"]
+__all__ = ["format_table", "format_markdown_table", "ascii_series_plot",
+           "campaign_class_table"]
 
 
 def _stringify(value) -> str:
@@ -65,6 +66,25 @@ def format_markdown_table(headers, rows, title: str | None = None) -> str:
     for row in rows:
         lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
     return "\n".join(lines)
+
+
+def campaign_class_table(campaign) -> tuple[list, list]:
+    """The per-fault-class summary table of a campaign (Figures 3/4 footer).
+
+    A formatting of :meth:`CampaignResult.summary` — the single
+    implementation of the per-class statistics — so it renders identically
+    from a live :class:`~repro.faults.campaign.CampaignResult` and from one
+    loaded back out of a :class:`~repro.results.store.RunStore`.
+    """
+    headers = ["fault class", "worst outer", "max increase", "% increase",
+               "detected"]
+    rows = [
+        [cls, stats["max_outer"], stats["max_increase"],
+         f"{stats['percent_increase']:.1f}%",
+         f"{stats['detection_rate'] * 100:.0f}%"]
+        for cls, stats in campaign.summary().items()
+    ]
+    return headers, rows
 
 
 def ascii_series_plot(x, y, *, width: int = 72, height: int = 14, title: str = "",

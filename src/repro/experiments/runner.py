@@ -1,15 +1,15 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner (the ``repro`` console command).
 
 Regenerates the paper's artifacts without going through pytest:
 
 .. code-block:: bash
 
-    python -m repro.experiments.runner table1 --scale small
-    python -m repro.experiments.runner fig2
-    python -m repro.experiments.runner fig3 --scale small --stride 5
-    python -m repro.experiments.runner fig4 --scale tiny --stride 5
-    python -m repro.experiments.runner summary --scale small --stride 5
-    python -m repro.experiments.runner all --scale tiny --stride 10
+    repro table1 --scale small          # or: python -m repro ...
+    repro fig2
+    repro fig3 --scale small --stride 5
+    repro fig4 --scale tiny --stride 5
+    repro summary --scale small --stride 5
+    repro all --scale tiny --stride 10
 
 The sweep experiments are driven by a :class:`~repro.specs.CampaignSpec`,
 which can come from a JSON file and be patched field-by-field:
@@ -17,10 +17,10 @@ which can come from a JSON file and be patched field-by-field:
 .. code-block:: bash
 
     # declarative campaign configuration
-    python -m repro.experiments.runner fig3 --config campaign.json
+    repro fig3 --config campaign.json
 
     # dotted-path overrides on top of flags/config
-    python -m repro.experiments.runner fig3 --scale small \\
+    repro fig3 --scale small \\
         --set exec.backend=batched --set exec.batch_size=16 \\
         --set solver.inner.maxiter=25 --set detector=bound
 
@@ -30,6 +30,23 @@ flags (``--stride``/``--detector``/``--inner-iterations``/``--workers``/
 prints the same report as the corresponding benchmark in ``benchmarks/``
 (tables and ASCII series plots).  The ``--scale`` choices match
 ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/``paper``).
+
+Persistence (the results subsystem):
+
+.. code-block:: bash
+
+    # checkpoint every trial into a run store; SIGTERM-safe
+    repro fig3 --scale small --store runs/ --sink console:25
+
+    # continue an interrupted invocation (skips completed trials)
+    repro fig3 --scale small --store runs/ --resume
+
+    # regenerate the report purely from the store — zero new solves
+    repro fig3 --scale small --store runs/ --from-store
+
+Runs are keyed by a deterministic id (experiment, panel, and the campaign
+spec's fingerprint), so the same configuration always finds its own store
+entry and a changed configuration gets a fresh one.
 """
 
 from __future__ import annotations
@@ -38,8 +55,9 @@ import argparse
 import json
 from typing import Sequence
 
-from repro.experiments.figure2 import figure2_comparison
-from repro.experiments.figure34 import FigureSweep, run_fault_sweep
+from repro.experiments.figure2 import figure2_payload
+from repro.experiments.figure34 import (FigureSweep, load_fault_sweep,
+                                        run_fault_sweep, sweep_run_id)
 from repro.experiments.report import format_table
 from repro.experiments.summary import detector_comparison, summarize_campaign
 from repro.experiments.table1 import table1_rows
@@ -47,7 +65,9 @@ from repro.gallery.problems import paper_problems
 from repro.exec.executor import BackendKnobError
 from repro.registry import RegistryError
 from repro.registry import names as registry_names
-from repro.registry import resolve_problem
+from repro.registry import resolve_problem, resolve_sink
+from repro.results.events import MultiSink
+from repro.results.store import RunStore, RunStoreError
 from repro.specs import CampaignSpec, SpecError, apply_overrides, parse_override_value
 
 __all__ = ["main", "build_parser", "run_experiment", "build_campaign_spec"]
@@ -66,8 +86,9 @@ DEFAULT_STRIDE = 5
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the runner CLI."""
     parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.runner",
-        description="Regenerate the paper's tables and figures.",
+        prog="repro",
+        description="Regenerate the paper's tables and figures "
+                    "(also invocable as `python -m repro`).",
     )
     parser.add_argument("experiments", nargs="+",
                         choices=list(EXPERIMENTS) + ["all"],
@@ -109,6 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
                         help="trials advanced in lockstep per batch "
                              "(batched backend only; default 32)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist runs into a run store directory: each "
+                             "completed trial is appended (and flushed) to "
+                             "DIR/<run-id>/trials.jsonl under a manifest, so "
+                             "an interrupted invocation can be continued with "
+                             "--resume and reports can be regenerated with "
+                             "--from-store")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: continue interrupted runs (only "
+                             "missing trials are solved; a complete run is "
+                             "just reloaded)")
+    parser.add_argument("--from-store", action="store_true", dest="from_store",
+                        help="with --store: regenerate the reports purely "
+                             "from stored runs — zero new solves; errors if "
+                             "a needed run is missing or incomplete")
+    parser.add_argument("--sink", action="append", default=[], dest="sinks",
+                        metavar="SPEC",
+                        help="stream campaign events to a registered sink, "
+                             f"e.g. 'console:25' or 'jsonl:events/' "
+                             f"(registered sinks: {registry_names('sink')}); "
+                             "repeatable")
     return parser
 
 
@@ -165,13 +207,65 @@ def build_campaign_spec(args, *, problem_key: str = "poisson") -> CampaignSpec:
     return spec
 
 
-def _print_table1(problems, scale: str) -> None:
-    headers, rows = table1_rows(problems, compute_condition=(scale != "paper"))
+def _store_from(args) -> RunStore | None:
+    """The run store named by ``--store`` (None without the flag)."""
+    if args.store is None:
+        if args.resume or args.from_store:
+            raise SpecError("--store",
+                            "--resume/--from-store require --store DIR")
+        return None
+    return RunStore(args.store)
+
+
+def _sink_from(args):
+    """The (possibly fanned-out) event sink built from ``--sink`` specs.
+
+    Built once per CLI invocation (cached on ``args``) so every sweep of a
+    multi-experiment run streams into the same sink, and :func:`main` can
+    close it on the way out.
+    """
+    cached = getattr(args, "_sink", None)
+    if cached is not None or not args.sinks:
+        return cached
+    sinks = [resolve_sink(spec) for spec in args.sinks]
+    args._sink = sinks[0] if len(sinks) == 1 else MultiSink(sinks)
+    return args._sink
+
+
+def _run_or_load_sweep(problem, panel_spec: CampaignSpec, label: str, args):
+    """One stored-aware sweep panel: run, resume, or reload from the store."""
+    store = _store_from(args)
+    if args.from_store:
+        return load_fault_sweep(store, panel_spec, problem.name, label)
+    run_id = (sweep_run_id(panel_spec, problem.name, label)
+              if store is not None else None)
+    return run_fault_sweep(problem, panel_spec, sink=_sink_from(args),
+                           store=store, run_id=run_id, resume=args.resume)
+
+
+def _print_table1(problems, scale: str, args) -> None:
+    store = _store_from(args)
+    artifact = f"table1-{scale}"
+    if args.from_store:
+        payload = store.load_artifact(artifact)
+        headers, rows = payload["headers"], payload["rows"]
+    else:
+        headers, rows = table1_rows(problems, compute_condition=(scale != "paper"))
+        if store is not None:
+            store.save_artifact(artifact, {"headers": headers, "rows": rows})
     print(format_table(headers, rows, title=f"Table I (scale={scale})"))
 
 
-def _print_fig2(problems) -> None:
-    result = figure2_comparison(problems["poisson"].A, problems["circuit"].A, steps=10)
+def _print_fig2(problems, scale: str, args) -> None:
+    store = _store_from(args)
+    artifact = f"fig2-{scale}"
+    if args.from_store:
+        result = store.load_artifact(artifact)
+    else:
+        result = figure2_payload(problems["poisson"].A, problems["circuit"].A,
+                                 steps=10)
+        if store is not None:
+            store.save_artifact(artifact, result)
     print("Figure 2 — structure of the projected matrix H")
     print(f"  SPD:          tridiagonal={result['spd']['is_tridiagonal']} "
           f"(bandwidth {result['spd']['bandwidth']})")
@@ -193,10 +287,12 @@ def _sweep_problem(spec: CampaignSpec, problems, key: str):
 def _run_figure(problems, key: str, label: str, args) -> None:
     spec = build_campaign_spec(args, problem_key=key)
     problem = _sweep_problem(spec, problems, key)
+    name = "fig3" if key == "poisson" else "fig4"
     panels = {}
     for position in ("first", "last"):
-        panels[position] = run_fault_sweep(
-            problem, spec.replace(problem=None, mgs_position=position))
+        panels[position] = _run_or_load_sweep(
+            problem, spec.replace(problem=None, mgs_position=position),
+            f"{name}-{position}", args)
     figure = FigureSweep(problem_name=problem.name, first=panels["first"],
                          last=panels["last"])
     print(f"{label} — single-SDC sweep on {problem.name}")
@@ -210,7 +306,10 @@ def _print_summary(problems, args) -> None:
     for detector in (None, "bound"):
         campaign_spec = spec.replace(problem=None, mgs_position="first",
                                      detector=detector, detector_response="zero")
-        campaigns[detector] = run_fault_sweep(problem, campaign_spec)
+        campaigns[detector] = _run_or_load_sweep(
+            problem, campaign_spec,
+            "summary-bound" if detector == "bound" else "summary-nodetector",
+            args)
     comparison = detector_comparison(campaigns[None], campaigns["bound"])
     print("Section VII-E summary (Poisson):")
     for key, campaign in (("without detector", campaigns[None]),
@@ -225,9 +324,9 @@ def _print_summary(problems, args) -> None:
 def run_experiment(name: str, problems, args) -> None:
     """Run one named experiment and print its report."""
     if name == "table1":
-        _print_table1(problems, args.scale)
+        _print_table1(problems, args.scale, args)
     elif name == "fig2":
-        _print_fig2(problems)
+        _print_fig2(problems, args.scale, args)
     elif name == "fig3":
         _run_figure(problems, "poisson", "Figure 3", args)
     elif name == "fig4":
@@ -249,12 +348,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             if i:
                 print("\n" + "=" * 78 + "\n")
             run_experiment(name, problems, args)
-    except (SpecError, RegistryError, BackendKnobError) as exc:
+        sink = getattr(args, "_sink", None)
+        if sink is not None:
+            sink.close()
+    except (SpecError, RegistryError, BackendKnobError, RunStoreError) as exc:
         # Bad spec fields, unresolvable component names (e.g. a typo'd
-        # --detector) and execution-knob conflicts are configuration errors,
-        # not crashes: exit code 2 with the offending field/component named.
-        # Anything else (a genuine ValueError from the numerics) propagates
-        # with its traceback.
+        # --detector), execution-knob conflicts, and run-store problems
+        # (missing/incomplete run under --from-store, fingerprint mismatch)
+        # are configuration errors, not crashes: exit code 2 with the
+        # offending field/component/run named.  Anything else (a genuine
+        # ValueError from the numerics) propagates with its traceback.
         parser.error(str(exc))
     return 0
 

@@ -12,11 +12,15 @@ The paper summarizes its sweeps with a handful of headline numbers:
 
 :func:`summarize_campaign` condenses one campaign into those statistics and
 :func:`detector_comparison` builds the with/without-detector comparison.
+
+The statistics are computed through the
+:class:`~repro.results.query.TrialQuery` filter/group/aggregate API, so they
+work identically on a live :class:`~repro.faults.campaign.CampaignResult`
+and on one rebuilt from a :class:`~repro.results.store.RunStore` — any
+summary regenerates from a stored run with zero new solves.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.faults.campaign import CampaignResult
 
@@ -26,48 +30,57 @@ __all__ = ["summarize_campaign", "detector_comparison", "worst_case_increase",
 
 def worst_case_increase(campaign: CampaignResult, fault_classes=None) -> int:
     """Worst-case increase in outer iterations over the failure-free count."""
-    classes = fault_classes if fault_classes is not None else campaign.fault_classes()
-    if not classes:
+    query = campaign.query()
+    if fault_classes is not None:
+        query = query.filter(lambda t: t.fault_class in fault_classes)
+    if not query:
         return 0
-    return max(campaign.max_increase(cls) for cls in classes)
+    return max(int(query.max("outer_iterations")) - campaign.failure_free_outer, 0)
 
 
 def median_increase(campaign: CampaignResult, fault_class: str) -> float:
     """Median increase in outer iterations for one fault class."""
-    _, outers = campaign.series(fault_class)
-    if outers.size == 0:
+    query = campaign.query().filter(fault_class=fault_class)
+    if not query:
         return 0.0
-    return float(np.median(outers - campaign.failure_free_outer))
+    return query.median("outer_iterations") - campaign.failure_free_outer
 
 
 def fraction_no_penalty(campaign: CampaignResult, fault_class: str) -> float:
     """Fraction of trials that converged in the failure-free outer count."""
-    _, outers = campaign.series(fault_class)
-    if outers.size == 0:
-        return 0.0
-    return float(np.mean(outers <= campaign.failure_free_outer))
+    baseline = campaign.failure_free_outer
+    return (campaign.query().filter(fault_class=fault_class)
+            .rate(lambda t: t.outer_iterations <= baseline))
 
 
 def summarize_campaign(campaign: CampaignResult) -> dict:
-    """Condense one campaign into the Section VII-E headline statistics."""
+    """Condense one campaign into the Section VII-E headline statistics.
+
+    The shared worst/increase/percent/detection numbers come from
+    :meth:`CampaignResult.summary` (the one implementation of those
+    formulas); this adds the distribution statistics the Section VII-E text
+    quotes on top.
+    """
+    baseline = campaign.failure_free_outer
+    shared = campaign.summary()
     per_class = {}
-    for cls in campaign.fault_classes():
+    for cls, query in campaign.query().group_by("fault_class").items():
+        stats = dict(shared[cls])
+        del stats["trials"]
         per_class[cls] = {
-            "max_outer": campaign.max_outer(cls),
-            "max_increase": campaign.max_increase(cls),
-            "percent_increase": campaign.percent_increase(cls),
-            "median_increase": median_increase(campaign, cls),
-            "fraction_no_penalty": fraction_no_penalty(campaign, cls),
-            "detection_rate": campaign.detection_rate(cls),
+            **stats,
+            "median_increase": query.median("outer_iterations") - baseline,
+            "fraction_no_penalty": query.rate(
+                lambda t: t.outer_iterations <= baseline),
         }
+    worst = worst_case_increase(campaign)
     return {
         "problem": campaign.problem_name,
         "mgs_position": campaign.mgs_position,
         "detector_enabled": campaign.detector_enabled,
         "failure_free_outer": campaign.failure_free_outer,
-        "worst_case_increase": worst_case_increase(campaign),
-        "worst_case_percent": (100.0 * worst_case_increase(campaign) /
-                               campaign.failure_free_outer
+        "worst_case_increase": worst,
+        "worst_case_percent": (100.0 * worst / campaign.failure_free_outer
                                if campaign.failure_free_outer else 0.0),
         "non_converged_trials": len(campaign.non_converged()),
         "per_class": per_class,

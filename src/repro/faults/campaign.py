@@ -10,6 +10,7 @@ solve iteration that faults".
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,9 +30,19 @@ from repro.registry import (
     resolve_preconditioner,
     resolve_problem,
 )
+from repro.results.events import Event, ensure_sink
+from repro.results.query import TrialQuery
 from repro.specs import CampaignSpec
+from repro.utils.timer import Timer
 
-__all__ = ["TrialRecord", "CampaignResult", "FaultCampaign", "sweep_injection_locations"]
+__all__ = ["TrialRecord", "CampaignResult", "CampaignPlan", "FaultCampaign",
+           "sweep_injection_locations"]
+
+
+def _repro_version() -> str:
+    from repro import __version__  # lazy: repro/__init__ imports this module
+
+    return __version__
 
 #: Single source of truth for campaign defaults: the :class:`CampaignSpec`
 #: field defaults.  Both :class:`FaultCampaign` and
@@ -42,7 +53,14 @@ _DEFAULTS = CampaignSpec()
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """Outcome of one faulted nested solve."""
+    """Outcome of one faulted nested solve.
+
+    The payload fields (fault class, location, iteration counts, status,
+    residual) define equality; the measurement/provenance fields —
+    ``elapsed`` wall time, and the ``repro_version``/``seed``/``spec_hash``
+    stamps — are ``compare=False`` so trial-identity assertions across
+    backends and across resumed runs compare physics, not bookkeeping.
+    """
 
     fault_class: str
     fault_description: str
@@ -56,12 +74,27 @@ class TrialRecord:
     faults_injected: int
     faults_detected: int
     detector_enabled: bool
+    #: Wall-clock seconds for this trial (batched lanes: their amortized
+    #: share of the batch, see :meth:`FaultCampaign.iter_specs_batched`).
+    elapsed: float = field(default=0.0, compare=False)
+    #: Provenance stamps (``None`` until stamped by the campaign layer).
+    repro_version: str | None = field(default=None, compare=False)
+    seed: int | None = field(default=None, compare=False)
+    spec_hash: str | None = field(default=None, compare=False)
 
     def to_dict(self) -> dict:
-        """JSON-ready dict (the common result schema, ``kind="trial"``)."""
+        """JSON-ready dict (the common result schema, ``kind="trial"``).
+
+        Provenance stamps are included when set, so a record written to a
+        run store proves which repro version, RNG seed, and spec produced it.
+        """
         from dataclasses import asdict
 
-        return {"kind": "trial", **asdict(self)}
+        out = {"kind": "trial", **asdict(self)}
+        for key in ("repro_version", "seed", "spec_hash"):
+            if out[key] is None:
+                del out[key]
+        return out
 
     def summary(self) -> dict:
         """The headline fields of this trial (common result schema)."""
@@ -84,7 +117,13 @@ class TrialRecord:
 
 @dataclass
 class CampaignResult:
-    """All trials of a campaign plus the failure-free reference."""
+    """All trials of a campaign plus the failure-free reference.
+
+    The aggregate helpers (``series``, ``detection_rate``, ...) are built on
+    the :class:`~repro.results.query.TrialQuery` API — the same queries work
+    identically on a result loaded back from a
+    :class:`~repro.results.store.RunStore`.
+    """
 
     problem_name: str
     mgs_position: str
@@ -93,15 +132,19 @@ class CampaignResult:
     failure_free_outer: int
     failure_free_residual: float
     trials: list[TrialRecord] = field(default_factory=list)
+    #: Provenance stamps (``None`` for legacy/unstamped results).
+    repro_version: str | None = None
+    seed: int | None = None
+    spec_hash: str | None = None
 
     # ------------------------------------------------------------------ #
+    def query(self) -> TrialQuery:
+        """A :class:`TrialQuery` over this campaign's trials."""
+        return TrialQuery(self.trials)
+
     def fault_classes(self) -> list[str]:
         """Fault-class labels present in the campaign, in first-seen order."""
-        seen: list[str] = []
-        for t in self.trials:
-            if t.fault_class not in seen:
-                seen.append(t.fault_class)
-        return seen
+        return self.query().distinct("fault_class")
 
     def series(self, fault_class: str) -> tuple[np.ndarray, np.ndarray]:
         """The plotted series for one fault class.
@@ -109,13 +152,7 @@ class CampaignResult:
         Returns ``(locations, outer_iterations)`` sorted by location — the x
         and y data of one panel of Figure 3 or 4.
         """
-        pts = [(t.aggregate_inner_iteration, t.outer_iterations)
-               for t in self.trials if t.fault_class == fault_class]
-        pts.sort()
-        if not pts:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        locations, outers = zip(*pts)
-        return np.asarray(locations, dtype=np.int64), np.asarray(outers, dtype=np.int64)
+        return self.query().filter(fault_class=fault_class).series()
 
     def max_outer(self, fault_class: str) -> int:
         """Worst-case outer-iteration count over the sweep for one class."""
@@ -134,35 +171,38 @@ class CampaignResult:
 
     def detection_rate(self, fault_class: str) -> float:
         """Fraction of trials of this class in which the detector fired."""
-        trials = [t for t in self.trials if t.fault_class == fault_class]
-        if not trials:
-            return 0.0
-        return sum(1 for t in trials if t.faults_detected > 0) / len(trials)
+        return (self.query().filter(fault_class=fault_class)
+                .rate(lambda t: t.faults_detected > 0))
 
     def non_converged(self) -> list[TrialRecord]:
         """Trials that failed to converge within the outer-iteration budget."""
-        return [t for t in self.trials if not t.converged]
+        return self.query().filter(converged=False).records()
 
     def summary(self) -> dict:
         """Aggregate statistics keyed by fault class (used by EXPERIMENTS.md)."""
-        return {
-            cls: {
-                "max_outer": self.max_outer(cls),
-                "max_increase": self.max_increase(cls),
-                "percent_increase": self.percent_increase(cls),
-                "detection_rate": self.detection_rate(cls),
-                "trials": sum(1 for t in self.trials if t.fault_class == cls),
+        def per_class(q: TrialQuery) -> dict:
+            worst = int(q.max("outer_iterations"))
+            increase = max(worst - self.failure_free_outer, 0)
+            return {
+                "max_outer": worst,
+                "max_increase": increase,
+                "percent_increase": (100.0 * increase / self.failure_free_outer
+                                     if self.failure_free_outer else 0.0),
+                "detection_rate": q.rate(lambda t: t.faults_detected > 0),
+                "trials": len(q),
             }
-            for cls in self.fault_classes()
-        }
+
+        return {cls: per_class(q)
+                for cls, q in self.query().group_by("fault_class").items()}
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the common result schema, ``kind="campaign"``).
 
-        Round-trips through :meth:`from_dict`, so whole campaign artifacts
-        can be saved next to the spec that produced them.
+        Round-trips through :meth:`from_dict` — including the provenance
+        stamps — so whole campaign artifacts can be saved next to the spec
+        that produced them and still prove which spec that was.
         """
-        return {
+        out = {
             "kind": "campaign",
             "problem_name": self.problem_name,
             "mgs_position": self.mgs_position,
@@ -172,6 +212,11 @@ class CampaignResult:
             "failure_free_residual": self.failure_free_residual,
             "trials": [t.to_dict() for t in self.trials],
         }
+        for key in ("repro_version", "seed", "spec_hash"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignResult":
@@ -179,6 +224,22 @@ class CampaignResult:
         data = {k: v for k, v in data.items() if k != "kind"}
         trials = [TrialRecord.from_dict(t) for t in data.pop("trials", [])]
         return cls(trials=trials, **data)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A campaign's frozen work list (see :meth:`FaultCampaign.plan`).
+
+    Carries the failure-free baseline numbers, the resolved injection
+    locations, and the canonical-order trial specs — exactly what the run
+    store persists in a manifest, so an interrupted campaign can be resumed
+    from the same plan without re-solving the baseline.
+    """
+
+    locations: tuple[int, ...]
+    failure_free_outer: int
+    failure_free_residual: float
+    specs: list
 
 
 def _merged_budget(solver_field: str, solver_value, campaign_field: str,
@@ -284,6 +345,14 @@ class FaultCampaign:
             outer = outer.replace(detector=resolve_detector(
                 outer.detector, A=problem.A, bound_method=outer.bound_method))
         self.params = FTGMRESParameters(outer=outer, inner=inner)
+        #: Provenance stamped onto every record this campaign produces.
+        #: ``spec_hash`` stays ``None`` for keyword-constructed campaigns and
+        #: is filled by :meth:`from_spec` (only a spec has a hashable form).
+        self.provenance = {
+            "repro_version": _repro_version(),
+            "seed": getattr(problem, "seed", None),
+            "spec_hash": None,
+        }
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -340,7 +409,7 @@ class FaultCampaign:
                 detector = inner_spec.detector
                 if inner_spec.detector_response is not None:
                     detector_response = inner_spec.detector_response
-        return cls(
+        campaign = cls(
             problem,
             inner_iterations=inner_iterations,
             max_outer=max_outer,
@@ -353,6 +422,10 @@ class FaultCampaign:
             outer_params=outer_params,
             site=spec.site,
         )
+        from repro.results.store import campaign_fingerprint
+
+        campaign.provenance["spec_hash"] = campaign_fingerprint(spec, problem.name)
+        return campaign
 
     def run_failure_free(self) -> NestedSolverResult:
         """Run the nested solver without any fault injection."""
@@ -373,11 +446,18 @@ class FaultCampaign:
 
     def run_single(self, fault_class: str, model: FaultModel,
                    aggregate_inner_iteration: int) -> TrialRecord:
-        """Run one faulted nested solve and summarize it as a TrialRecord."""
+        """Run one faulted nested solve and summarize it as a TrialRecord.
+
+        The trial's wall time is measured here — inside the worker, for the
+        pool backends — so ``TrialRecord.elapsed`` means the same thing on
+        every backend.
+        """
         schedule = self._trial_schedule(aggregate_inner_iteration)
         injector = FaultInjector(model, schedule)
-        result = ft_gmres(self.problem.A, self.problem.b, self.problem.x0,
-                          params=self.params, injector=injector)
+        timer = Timer()
+        with timer:
+            result = ft_gmres(self.problem.A, self.problem.b, self.problem.x0,
+                              params=self.params, injector=injector)
         return TrialRecord(
             fault_class=fault_class,
             fault_description=model.describe(),
@@ -391,6 +471,7 @@ class FaultCampaign:
             faults_injected=injector.injections_performed,
             faults_detected=result.faults_detected,
             detector_enabled=self.detector is not None,
+            elapsed=timer.elapsed,
         )
 
     def run_spec(self, spec) -> TrialRecord:
@@ -423,20 +504,23 @@ class FaultCampaign:
 
         return batched_support_reason(self.params, self.site)
 
-    def run_specs_batched(self, specs, *, batch_size: int | None = None,
-                          progress=None, progress_offset: int = 0,
-                          progress_total: int | None = None) -> list[TrialRecord]:
-        """Run trial specs through the lockstep batched engine.
+    def iter_specs_batched(self, specs, *, batch_size: int | None = None):
+        """Stream ``(index, record)`` pairs from the lockstep batched engine.
 
         Trials advance ``batch_size`` at a time through shared block kernels
-        (see :mod:`repro.core.batched`).  Trials that leave the lockstep
-        common path — happy breakdown, early inner convergence, the outer
-        breakdown trichotomy — are transparently rerun through the serial
-        reference implementation, so the output is equivalent to
+        (see :mod:`repro.core.batched`); each batch's records are yielded as
+        the batch completes, which is what lets the run store checkpoint a
+        batched campaign at trial granularity.  Trials that leave the
+        lockstep common path — happy breakdown, early inner convergence, the
+        outer breakdown trichotomy — are transparently rerun through the
+        serial reference implementation, so the output is equivalent to
         :meth:`run_spec` on every spec: identical iteration counts, statuses
         and event streams, residual norms to ~1e-10.
 
-        Returns records ordered by ``spec.index`` (the canonical order).
+        Per-trial wall time: lanes that stay in lockstep report their
+        amortized share of the batch (batch wall time divided by its lane
+        count — lockstep lanes have no individual wall clock by
+        construction); peeled trials report their true serial time.
         """
         from repro.core.batched import BatchedTrialSetup, batched_ft_gmres
         from repro.faults.injector import FaultInjector
@@ -453,9 +537,6 @@ class FaultCampaign:
             batch_size = DEFAULT_BATCH_SIZE
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        total = progress_total if progress_total is not None else len(specs)
-        done = progress_offset
-        records: list[tuple[int, TrialRecord]] = []
         # Strided batch composition: batch i takes specs[i::num_batches], so
         # every batch spans the whole injection-location range instead of a
         # narrow consecutive window.  Lanes then fork off the shared
@@ -473,8 +554,11 @@ class FaultCampaign:
                     injector=FaultInjector(model, schedule),
                     hessenberg_target=schedule.aggregate_inner_iteration,
                 ))
-            results = batched_ft_gmres(self.problem.A, self.problem.b,
-                                       self.problem.x0, self.params, setups)
+            timer = Timer()
+            with timer:
+                results = batched_ft_gmres(self.problem.A, self.problem.b,
+                                           self.problem.x0, self.params, setups)
+            lane_elapsed = timer.elapsed / len(chunk)
             for spec, setup, result in zip(chunk, setups, results):
                 if result is None:
                     # Off the lockstep common path: the serial reference
@@ -496,9 +580,26 @@ class FaultCampaign:
                         faults_injected=setup.injector.injections_performed,
                         faults_detected=result.faults_detected,
                         detector_enabled=self.detector is not None,
+                        elapsed=lane_elapsed,
                     )
-                records.append((spec.index, record))
-            done += len(chunk)
+                yield spec.index, record
+
+    def run_specs_batched(self, specs, *, batch_size: int | None = None,
+                          progress=None, progress_offset: int = 0,
+                          progress_total: int | None = None) -> list[TrialRecord]:
+        """Run trial specs through the lockstep batched engine.
+
+        The list-returning wrapper around :meth:`iter_specs_batched`:
+        records come back ordered by ``spec.index`` (the canonical order),
+        with ``progress(done, total)`` fired as trials complete.
+        """
+        specs = list(specs)
+        total = progress_total if progress_total is not None else len(specs)
+        done = progress_offset
+        records: list[tuple[int, TrialRecord]] = []
+        for index, record in self.iter_specs_batched(specs, batch_size=batch_size):
+            records.append((index, record))
+            done += 1
             if progress is not None:
                 progress(done, total)
         records.sort(key=lambda pair: pair[0])
@@ -545,10 +646,136 @@ class FaultCampaign:
                 (cls, loc) for cls in self.fault_classes for loc in locations)
         ]
 
+    # ------------------------------------------------------------------ #
+    # planning and streaming execution
+    # ------------------------------------------------------------------ #
+    def plan(self, locations=None, stride: int = 1, *,
+             baseline: tuple[int, float] | None = None) -> "CampaignPlan":
+        """Freeze the campaign's work list: baseline + locations + specs.
+
+        ``baseline`` short-circuits the failure-free reference solve with
+        known ``(failure_free_outer, failure_free_residual)`` numbers — the
+        run store uses this on resume, so resuming never re-solves anything.
+        """
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if baseline is None:
+            reference = self.run_failure_free()
+            baseline = (reference.outer_iterations, reference.residual_norm)
+        failure_free_outer, failure_free_residual = baseline
+        if locations is None:
+            total_locations = max(failure_free_outer, 1) * self.inner_iterations
+            locations = range(0, total_locations, stride)
+        locations = tuple(int(loc) for loc in locations)
+        return CampaignPlan(
+            locations=locations,
+            failure_free_outer=int(failure_free_outer),
+            failure_free_residual=float(failure_free_residual),
+            specs=self.trial_specs(locations),
+        )
+
+    def result_scaffold(self, plan: "CampaignPlan") -> CampaignResult:
+        """An empty, provenance-stamped CampaignResult for a plan."""
+        return CampaignResult(
+            problem_name=self.problem.name,
+            mgs_position=self.mgs_position,
+            inner_iterations=self.inner_iterations,
+            detector_enabled=self.detector is not None,
+            failure_free_outer=plan.failure_free_outer,
+            failure_free_residual=plan.failure_free_residual,
+            **self.provenance,
+        )
+
+    def stamp(self, record: TrialRecord) -> TrialRecord:
+        """The record with this campaign's provenance fields set."""
+        return dataclasses.replace(record, **self.provenance)
+
+    def run_plan(self, plan: "CampaignPlan", *, specs=None, progress=None,
+                 sink=None, backend: str | None = None,
+                 workers: int | None = None, chunksize: int | None = None,
+                 batch_size: int | None = None, executor=None,
+                 on_record=None, completed=(), event_data: dict | None = None
+                 ) -> CampaignResult:
+        """Execute (the remainder of) a plan and assemble the result.
+
+        The one implementation of the campaign lifecycle — event emission,
+        progress accounting, canonical reassembly — shared by :meth:`run`
+        and the run store's checkpoint/resume path in :mod:`repro.api`.
+
+        Parameters
+        ----------
+        specs : sequence of TrialSpec, optional
+            The trials to actually execute (default: all of ``plan.specs``;
+            a resume passes only the missing ones).
+        on_record : callable, optional
+            ``on_record(index, record)`` invoked for each completed trial
+            *before* any observer sees it — the store's persistence hook, so
+            an interrupt raised by a sink never loses a completed trial.
+        completed : sequence of (index, record)
+            Already-finished trials (from a resumed store) counted as done.
+        event_data : dict, optional
+            Extra payload merged into the ``campaign_started`` and
+            ``campaign_completed`` events (e.g. the store ``run_id``).
+        """
+        sink = ensure_sink(sink)
+        result = self.result_scaffold(plan)
+        total = len(plan.specs)
+        pairs: list[tuple[int, TrialRecord]] = list(completed)
+        extra = dict(event_data or {})
+        if sink is not None:
+            sink.emit(Event("campaign_started", where="campaign",
+                            data={"problem": self.problem.name,
+                                  "total_trials": total,
+                                  "resumed_trials": len(pairs), **extra}))
+            sink.emit(Event(
+                "baseline_completed", where="campaign",
+                data={"failure_free_outer": plan.failure_free_outer,
+                      "failure_free_residual": plan.failure_free_residual}))
+        todo = list(plan.specs) if specs is None else list(specs)
+        if todo:
+            for index, record in self.iter_records(
+                    todo, executor=executor, backend=backend, workers=workers,
+                    chunksize=chunksize, batch_size=batch_size):
+                if on_record is not None:
+                    on_record(index, record)
+                pairs.append((index, record))
+                if progress is not None:
+                    progress(len(pairs), total)
+                if sink is not None:
+                    sink.emit(Event("trial_completed", where="campaign",
+                                    trial_index=index,
+                                    data={"done": len(pairs), "total": total,
+                                          "record": record.to_dict()}))
+        pairs.sort(key=lambda pair: pair[0])
+        result.trials.extend(record for _, record in pairs)
+        if sink is not None:
+            sink.emit(Event("campaign_completed", where="campaign",
+                            data={"total_trials": total, **extra}))
+        return result
+
+    def iter_records(self, specs, *, executor=None, backend: str | None = None,
+                     workers: int | None = None, chunksize: int | None = None,
+                     batch_size: int | None = None):
+        """Stream provenance-stamped ``(index, record)`` pairs as trials finish.
+
+        Completion order (lazy over serial, windowed over the pool and
+        batched backends); the caller reassembles canonical order by index.
+        This is the one execution path under :meth:`run`,
+        :func:`repro.api.iter_trials`, and the run store's incremental
+        checkpointing.
+        """
+        from repro.exec.executor import CampaignExecutor
+
+        if executor is None:
+            executor = CampaignExecutor(self, backend=backend, workers=workers,
+                                        chunksize=chunksize, batch_size=batch_size)
+        for index, record in executor.iter_records(specs):
+            yield index, self.stamp(record)
+
     def run(self, locations=None, stride: int = 1, progress=None, *,
             backend: str | None = None, workers: int | None = None,
             chunksize: int | None = None, batch_size: int | None = None,
-            executor=None) -> CampaignResult:
+            executor=None, sink=None) -> CampaignResult:
         """Run the full campaign.
 
         Parameters
@@ -562,7 +789,9 @@ class FaultCampaign:
             Keep every ``stride``-th default location (used by the fast
             benchmark configurations; ``stride=1`` reproduces the paper).
         progress : callable, optional
-            ``progress(done, total)`` callback.
+            ``progress(done, total)`` callback (a thin adapter over the
+            event bus: equivalent to a ``sink`` observing only
+            ``trial_completed`` events).
         backend : {"serial", "thread", "process", "batched"}, optional
             Execution backend; ``None`` auto-selects ``process`` when the
             resolved worker count exceeds 1.  ``"batched"`` advances trials
@@ -579,6 +808,10 @@ class FaultCampaign:
         executor : CampaignExecutor, optional
             A pre-built executor; overrides ``backend``/``workers``/
             ``chunksize``/``batch_size``.
+        sink : EventSink, callable, or registered sink spec, optional
+            Receives campaign lifecycle events (``campaign_started``,
+            ``baseline_completed``, ``trial_completed`` with the record
+            payload, ``campaign_completed``) as the campaign runs.
 
         Returns
         -------
@@ -591,30 +824,13 @@ class FaultCampaign:
             flips, :class:`NormGrowthDetector`) see per-worker history under
             parallel backends and should be swept with ``backend="serial"``.
         """
-        from repro.exec.executor import CampaignExecutor
+        from repro.registry import resolve_sink
 
-        if stride <= 0:
-            raise ValueError(f"stride must be positive, got {stride}")
-        baseline = self.run_failure_free()
-        failure_free_outer = baseline.outer_iterations
-        if locations is None:
-            total_locations = max(failure_free_outer, 1) * self.inner_iterations
-            locations = range(0, total_locations, stride)
-        locations = [int(loc) for loc in locations]
-
-        result = CampaignResult(
-            problem_name=self.problem.name,
-            mgs_position=self.mgs_position,
-            inner_iterations=self.inner_iterations,
-            detector_enabled=self.detector is not None,
-            failure_free_outer=failure_free_outer,
-            failure_free_residual=baseline.residual_norm,
-        )
-        if executor is None:
-            executor = CampaignExecutor(self, backend=backend, workers=workers,
-                                        chunksize=chunksize, batch_size=batch_size)
-        result.trials.extend(executor.run(self.trial_specs(locations), progress=progress))
-        return result
+        return self.run_plan(self.plan(locations=locations, stride=stride),
+                             progress=progress, sink=resolve_sink(sink),
+                             backend=backend, workers=workers,
+                             chunksize=chunksize, batch_size=batch_size,
+                             executor=executor)
 
 
 def sweep_injection_locations(
@@ -632,6 +848,7 @@ def sweep_injection_locations(
     workers: int | None = None,
     chunksize: int | None = None,
     batch_size: int | None = None,
+    sink=None,
 ) -> CampaignResult:
     """Functional convenience wrapper around :class:`FaultCampaign`.
 
@@ -653,4 +870,4 @@ def sweep_injection_locations(
     return campaign.run(locations=locations,
                         stride=stride if stride is not None else _DEFAULTS.stride,
                         backend=backend, workers=workers, chunksize=chunksize,
-                        batch_size=batch_size)
+                        batch_size=batch_size, sink=sink)

@@ -43,6 +43,10 @@ class TestProblem:
         tridiagonal-Hessenberg structure discussion of the paper).
     description : str
         Free-form provenance notes.
+    seed : int or None
+        The RNG seed the problem was generated from (``None`` for problems
+        without one, e.g. loaded from a Matrix-Market file).  Stamped into
+        campaign results as provenance.
     """
 
     #: Tell pytest this is library code, not a test class, despite the name.
@@ -55,6 +59,7 @@ class TestProblem:
     x_exact: np.ndarray | None = None
     spd: bool = False
     description: str = ""
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         n = self.A.shape[0]
@@ -117,6 +122,7 @@ def poisson_problem(grid_n: int = 100, seed: int = 7) -> TestProblem:
             "2-D Poisson 5-point finite-difference matrix "
             f"(gallery('poisson',{grid_n}) equivalent), manufactured RHS"
         ),
+        seed=seed,
     )
 
 
@@ -153,6 +159,7 @@ def circuit_problem(n_nodes: int = 25187, seed: int = 20140519,
             "Synthetic modified-nodal-analysis circuit matrix standing in for "
             "UF mult_dcop_03 (nonsymmetric, structurally full rank, ill-conditioned)"
         ),
+        seed=seed,
     )
 
 

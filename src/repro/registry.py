@@ -52,12 +52,13 @@ __all__ = [
     "resolve_fault_model",
     "resolve_fault_classes",
     "resolve_problem",
+    "resolve_sink",
     "backend_knobs",
 ]
 
 #: The registered component namespaces.
 NAMESPACES = ("solver", "preconditioner", "detector", "fault_model",
-              "problem", "backend")
+              "problem", "backend", "sink")
 
 
 class RegistryError(ValueError):
@@ -367,6 +368,36 @@ def resolve_problem(spec):
     return resolve("problem", spec)
 
 
+def resolve_sink(spec):
+    """An EventSink instance, ``None``, a callable, or a registered sink spec.
+
+    Sinks are the consumer side of the results event bus
+    (:mod:`repro.results.events`).  ``None``, built sinks, and bare
+    callables pass through (the campaign layer coerces callables); strings
+    and dicts resolve through the ``"sink"`` namespace — which is what makes
+    ``--sink jsonl:runs/`` work from the CLI.
+    """
+    from repro.results.events import EventSink
+
+    if spec is None or isinstance(spec, EventSink):
+        return spec
+    if isinstance(spec, (str, dict)):
+        return resolve("sink", spec)
+    if (isinstance(spec, tuple) and len(spec) == 2
+            and isinstance(spec[0], str) and isinstance(spec[1], dict)):
+        # The ("name", params) pair form parse_spec supports everywhere else.
+        return resolve("sink", spec)
+    if isinstance(spec, (list, tuple)):
+        # Resolve each element, so a list may mix registered specs, built
+        # sinks, and callables; the caller's ensure_sink fans them out.
+        return [resolve_sink(s) for s in spec]
+    if callable(spec):
+        return spec
+    raise TypeError(
+        f"sink must be an EventSink, a callable, a registered sink spec "
+        f"(one of {names('sink')}), or None; got {type(spec).__name__}")
+
+
 # ====================================================================== #
 # built-in registrations
 # ====================================================================== #
@@ -638,3 +669,34 @@ _register_backend("batched", parallel=False, knobs=("batch_size",))
 def backend_knobs(name: str) -> tuple:
     """The execution knobs a backend accepts (registry metadata)."""
     return tuple(registry.metadata("backend", name)["knobs"])
+
+
+# ------------------------------- sinks -------------------------------- #
+@register("sink", "jsonl", positional=("path",))
+def _build_jsonl_sink(ctx, path="runs"):
+    """Append events as JSON lines under ``path`` (``--sink jsonl:runs/``)."""
+    from repro.results.events import JsonlEventSink
+
+    return JsonlEventSink(path)
+
+
+@register("sink", "memory", aliases=("collect",))
+def _build_memory_sink(ctx):
+    from repro.results.events import CollectingSink
+
+    return CollectingSink()
+
+
+@register("sink", "null")
+def _build_null_sink(ctx):
+    from repro.results.events import NullSink
+
+    return NullSink()
+
+
+@register("sink", "console", positional=("every",))
+def _build_console_sink(ctx, every=1):
+    """Progress lines on stderr; ``console:25`` prints every 25th trial."""
+    from repro.results.events import ConsoleSink
+
+    return ConsoleSink(every=int(every))

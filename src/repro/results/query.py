@@ -1,0 +1,174 @@
+"""Filter / group / aggregate helpers over campaign trial records.
+
+A :class:`TrialQuery` wraps a sequence of
+:class:`~repro.faults.campaign.TrialRecord` values (from a live
+:class:`~repro.faults.campaign.CampaignResult` or loaded from a
+:class:`~repro.results.store.RunStore`) and answers the questions the
+paper's figures and tables ask — "the (location, outer iterations) series of
+one fault class", "the detection rate per class", "the worst-case increase"
+— without re-running a single solve.
+
+Queries are immutable: every operation returns a new query (or plain data),
+so intermediate results can be reused freely.
+
+>>> q = TrialQuery(result.trials)
+>>> x, y = q.filter(fault_class="large").series()
+>>> q.group_by("fault_class")["large"].rate(lambda t: t.faults_detected > 0)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["TrialQuery"]
+
+
+class TrialQuery:
+    """An immutable, chainable view over trial records.
+
+    Records may be any objects exposing the :class:`TrialRecord` attributes
+    (``fault_class``, ``aggregate_inner_iteration``, ``outer_iterations``,
+    ...); the query never mutates them.
+    """
+
+    def __init__(self, records: Iterable) -> None:
+        self._records = tuple(records)
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+    def records(self) -> list:
+        """The underlying records, in order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrialQuery({len(self._records)} records)"
+
+    # ------------------------------------------------------------------ #
+    # filtering and grouping
+    # ------------------------------------------------------------------ #
+    def filter(self, pred: Callable | None = None, **field_equals) -> "TrialQuery":
+        """Records matching a predicate and/or exact field values.
+
+        ``q.filter(fault_class="large")`` keeps records whose attribute
+        equals the given value; ``q.filter(lambda t: not t.converged)`` uses
+        an arbitrary predicate; both can be combined (all must hold).
+        """
+        records = self._records
+        if field_equals:
+            records = [r for r in records
+                       if all(getattr(r, name) == value
+                              for name, value in field_equals.items())]
+        if pred is not None:
+            records = [r for r in records if pred(r)]
+        return TrialQuery(records)
+
+    def exclude(self, pred: Callable | None = None, **field_equals) -> "TrialQuery":
+        """The complement of :meth:`filter` (records NOT matching)."""
+        kept = set(map(id, self.filter(pred, **field_equals)._records))
+        return TrialQuery(r for r in self._records if id(r) not in kept)
+
+    def group_by(self, field: str, *, sort: bool = False) -> dict:
+        """Partition into ``{field value: TrialQuery}``.
+
+        Groups appear in first-seen order (the campaign's canonical order)
+        unless ``sort=True`` sorts the keys.
+        """
+        groups: dict = {}
+        for record in self._records:
+            groups.setdefault(getattr(record, field), []).append(record)
+        keys = sorted(groups) if sort else list(groups)
+        return {key: TrialQuery(groups[key]) for key in keys}
+
+    def sort_by(self, field: str, reverse: bool = False) -> "TrialQuery":
+        """Records sorted by one attribute (stable)."""
+        return TrialQuery(sorted(self._records, key=lambda r: getattr(r, field),
+                                 reverse=reverse))
+
+    # ------------------------------------------------------------------ #
+    # projections
+    # ------------------------------------------------------------------ #
+    def values(self, field: str) -> list:
+        """One attribute of every record, in order."""
+        return [getattr(r, field) for r in self._records]
+
+    def distinct(self, field: str) -> list:
+        """Distinct attribute values, in first-seen order."""
+        seen: list = []
+        for value in self.values(field):
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def series(self, x: str = "aggregate_inner_iteration",
+               y: str = "outer_iterations") -> tuple[np.ndarray, np.ndarray]:
+        """Two attributes as ``(x, y)`` int64 arrays sorted by ``x``.
+
+        With the defaults this is exactly the plotted series of one panel of
+        the paper's Figures 3/4 (filter by fault class first).
+        """
+        pts = sorted(zip(self.values(x), self.values(y)))
+        if not pts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        xs, ys = zip(*pts)
+        return np.asarray(xs, dtype=np.int64), np.asarray(ys, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def count(self, pred: Callable | None = None) -> int:
+        """Number of records (matching ``pred`` when given)."""
+        if pred is None:
+            return len(self._records)
+        return sum(1 for r in self._records if pred(r))
+
+    def rate(self, pred: Callable) -> float:
+        """Fraction of records matching ``pred`` (0.0 on an empty query)."""
+        if not self._records:
+            return 0.0
+        return self.count(pred) / len(self._records)
+
+    def max(self, field: str, default=0):
+        """Maximum of one attribute (``default`` on an empty query)."""
+        values = self.values(field)
+        return max(values) if values else default
+
+    def min(self, field: str, default=0):
+        """Minimum of one attribute (``default`` on an empty query)."""
+        values = self.values(field)
+        return min(values) if values else default
+
+    def mean(self, field: str, default=0.0) -> float:
+        """Mean of one attribute (``default`` on an empty query)."""
+        values = self.values(field)
+        return float(np.mean(values)) if values else default
+
+    def median(self, field: str, default=0.0) -> float:
+        """Median of one attribute (``default`` on an empty query)."""
+        values = self.values(field)
+        return float(np.median(values)) if values else default
+
+    def sum(self, field: str):
+        """Sum of one attribute (0 on an empty query)."""
+        return sum(self.values(field))
+
+    def aggregate(self, **aggregators) -> dict:
+        """Evaluate several named aggregations in one pass.
+
+        Each aggregator is a callable receiving this query; the result maps
+        the given names to the values.
+
+        >>> q.aggregate(trials=len, worst=lambda q: q.max("outer_iterations"))
+        """
+        return {name: fn(self) for name, fn in aggregators.items()}

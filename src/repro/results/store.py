@@ -1,0 +1,382 @@
+"""The persistent run store: append-only JSONL runs with manifests.
+
+Layout (one directory per run under the store root)::
+
+    <root>/
+      <run_id>/
+        manifest.json     # full CampaignSpec, spec hash, seed, repro version,
+                          # baseline numbers, resolved locations, status
+        trials.jsonl      # one TrialRecord per line, appended + flushed as
+                          # each trial completes, in COMPLETION order
+      artifacts/
+        <name>.json       # non-campaign artifacts (Table I rows, Figure 2)
+
+Durability contract
+-------------------
+``trials.jsonl`` is append-only and flushed per record, so a crash (or
+SIGTERM) at any point loses at most the record being written.  A torn final
+line is expected after a crash: :meth:`RunStore.read_trials` detects it,
+reports it, and :meth:`RunStore.recover` truncates the file back to the last
+complete record so appending can resume.  A corrupt line *before* the final
+one is real corruption and raises :class:`RunStoreError`.
+
+Resume contract
+---------------
+The manifest freezes everything a resumed run needs to be trial-identical to
+an uninterrupted one: the spec (and its hash, verified on resume), the
+failure-free baseline numbers, and the resolved injection locations.  Trials
+are keyed by their canonical index, so a resume runs exactly the missing
+indices and the merged result is in canonical order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.results.query import TrialQuery
+
+__all__ = ["RunStoreError", "RunManifest", "RunWriter", "RunStore",
+           "campaign_fingerprint"]
+
+_MANIFEST = "manifest.json"
+_TRIALS = "trials.jsonl"
+_ARTIFACTS = "artifacts"
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RunStoreError(RuntimeError):
+    """A run-store consistency problem (missing run, spec mismatch, ...)."""
+
+
+def campaign_fingerprint(spec, problem_name: str) -> str:
+    """The identity hash of (campaign spec, problem) — what resume verifies.
+
+    The spec alone is not enough: a spec with ``problem=None`` runs on
+    whatever problem the caller passes in code, so the problem name is mixed
+    into the hash.  Two normalizations keep the identity about the *physics*
+    of the campaign:
+
+    * ``problem`` is dropped from the spec (the problem name stands for it);
+    * ``exec`` is dropped — execution knobs (backend, workers, batch size)
+      are documented not to change results, so ``--workers 4`` and a plain
+      serial rerun must find (and resume) the same stored run.
+    """
+    from repro.specs import ExecutionSpec, spec_hash
+
+    spec = spec.replace(problem=None, exec=ExecutionSpec())
+    return spec_hash({"problem_name": str(problem_name), "spec": spec.to_dict()})
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify, resume, and rebuild a stored run."""
+
+    run_id: str
+    spec: dict
+    spec_hash: str
+    problem_name: str
+    repro_version: str
+    seed: int | None
+    mgs_position: str
+    inner_iterations: int
+    detector_enabled: bool
+    failure_free_outer: int
+    failure_free_residual: float
+    locations: list[int]
+    fault_classes: list[str]
+    total_trials: int
+    status: str = "running"
+    created_at: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "run_id": self.run_id,
+            "spec": self.spec,
+            "spec_hash": self.spec_hash,
+            "problem_name": self.problem_name,
+            "repro_version": self.repro_version,
+            "seed": self.seed,
+            "mgs_position": self.mgs_position,
+            "inner_iterations": self.inner_iterations,
+            "detector_enabled": self.detector_enabled,
+            "failure_free_outer": self.failure_free_outer,
+            "failure_free_residual": self.failure_free_residual,
+            "locations": [int(loc) for loc in self.locations],
+            "fault_classes": list(self.fault_classes),
+            "total_trials": self.total_trials,
+            "status": self.status,
+            "created_at": self.created_at,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        data = dict(data)
+        data.setdefault("extra", {})
+        return cls(**data)
+
+
+class RunWriter:
+    """Appends trial records to one run, flushed per record.
+
+    The write happens *before* any observer sees the record (the campaign
+    layer emits its ``trial_completed`` event after appending), so an
+    interrupt during observation never loses a persisted trial.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, index: int, record) -> None:
+        """Persist one completed trial (``record`` is a TrialRecord)."""
+        row = {"index": int(index), **record.to_dict()}
+        self._handle.write(json.dumps(row) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RunStore:
+    """A directory of persisted campaign runs (see the module docstring)."""
+
+    def __init__(self, root) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    @classmethod
+    def coerce(cls, store) -> "RunStore":
+        """A RunStore from an instance or a path."""
+        if isinstance(store, cls):
+            return store
+        return cls(store)
+
+    # ------------------------------------------------------------------ #
+    # run directory plumbing
+    # ------------------------------------------------------------------ #
+    def run_path(self, run_id: str) -> str:
+        """The directory of one run (validated; need not exist yet)."""
+        if not _RUN_ID_RE.match(run_id):
+            raise RunStoreError(
+                f"invalid run id {run_id!r}: use letters, digits, '.', '_', '-'")
+        if run_id == _ARTIFACTS:
+            raise RunStoreError(
+                f"run id {_ARTIFACTS!r} is reserved for the store's "
+                f"artifact directory")
+        return os.path.join(self.root, run_id)
+
+    def exists(self, run_id: str) -> bool:
+        """True if the run has a manifest on disk."""
+        return os.path.isfile(os.path.join(self.run_path(run_id), _MANIFEST))
+
+    def run_ids(self) -> list[str]:
+        """All stored run ids, sorted."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(name for name in os.listdir(self.root)
+                      if os.path.isfile(os.path.join(self.root, name, _MANIFEST)))
+
+    # ------------------------------------------------------------------ #
+    # manifests
+    # ------------------------------------------------------------------ #
+    def create_run(self, manifest: RunManifest, *, resume: bool = False) -> RunWriter:
+        """Create (or on ``resume=True`` reopen) a run; return its writer.
+
+        A fresh create refuses to overwrite an existing run — stored trials
+        are evidence, not cache.  Reopening verifies nothing (the caller
+        checks the fingerprint first via :meth:`manifest`).
+        """
+        path = self.run_path(manifest.run_id)
+        if self.exists(manifest.run_id) and not resume:
+            raise RunStoreError(
+                f"run {manifest.run_id!r} already exists in {self.root}; "
+                f"pass resume=True to continue it or choose another run_id")
+        os.makedirs(path, exist_ok=True)
+        if not self.exists(manifest.run_id):
+            self._write_manifest(manifest)
+        return RunWriter(os.path.join(path, _TRIALS))
+
+    def manifest(self, run_id: str) -> RunManifest:
+        """The manifest of a stored run."""
+        path = os.path.join(self.run_path(run_id), _MANIFEST)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return RunManifest.from_dict(json.load(handle))
+        except FileNotFoundError:
+            raise RunStoreError(
+                f"no run {run_id!r} in {self.root} "
+                f"(stored runs: {self.run_ids() or 'none'})") from None
+        except (json.JSONDecodeError, TypeError, KeyError) as exc:
+            raise RunStoreError(f"corrupt manifest for run {run_id!r}: {exc}") from None
+
+    def _write_manifest(self, manifest: RunManifest) -> None:
+        path = os.path.join(self.run_path(manifest.run_id), _MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)  # atomic: a crash never leaves a torn manifest
+
+    def finalize(self, run_id: str) -> None:
+        """Mark a run complete (all trials written)."""
+        manifest = self.manifest(run_id)
+        manifest.status = "complete"
+        self._write_manifest(manifest)
+
+    # ------------------------------------------------------------------ #
+    # trial records
+    # ------------------------------------------------------------------ #
+    def read_trials(self, run_id: str) -> tuple[list[tuple[int, Any]], bool]:
+        """All persisted ``(index, TrialRecord)`` pairs, in file order.
+
+        Returns ``(pairs, torn_tail)`` where ``torn_tail`` reports a
+        truncated/corrupt *final* line (the expected signature of a crash
+        mid-append) — that line is skipped.  Corruption anywhere else raises
+        :class:`RunStoreError`.
+        """
+        from repro.faults.campaign import TrialRecord
+
+        path = os.path.join(self.run_path(run_id), _TRIALS)
+        if not os.path.isfile(path):
+            self.manifest(run_id)  # raises if the whole run is missing
+            return [], False
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        pairs: list[tuple[int, Any]] = []
+        for lineno, line in enumerate(lines):
+            try:
+                row = json.loads(line)
+                index = int(row.pop("index"))
+                record = TrialRecord.from_dict(row)
+            except (ValueError, TypeError, KeyError) as exc:
+                if lineno == len(lines) - 1:
+                    return pairs, True  # torn tail: crash mid-append
+                raise RunStoreError(
+                    f"corrupt trial record at {path}:{lineno + 1}: {exc}") from None
+            pairs.append((index, record))
+        return pairs, False
+
+    def recover(self, run_id: str) -> list[tuple[int, Any]]:
+        """Read trials and truncate any torn tail so appends can resume.
+
+        Returns the surviving ``(index, TrialRecord)`` pairs.  The
+        truncation rewrites ``trials.jsonl`` atomically from the parsed
+        records, so the file ends with a complete line afterwards.
+        """
+        pairs, torn = self.read_trials(run_id)
+        if torn:
+            path = os.path.join(self.run_path(run_id), _TRIALS)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for index, record in pairs:
+                    handle.write(json.dumps({"index": index, **record.to_dict()})
+                                 + "\n")
+            os.replace(tmp, path)
+        return pairs
+
+    def completed_indices(self, run_id: str) -> set[int]:
+        """Indices of the trials already persisted for a run."""
+        return {index for index, _ in self.read_trials(run_id)[0]}
+
+    # ------------------------------------------------------------------ #
+    # reading whole results back
+    # ------------------------------------------------------------------ #
+    def load_result(self, run_id: str, *, allow_partial: bool = False):
+        """Rebuild the :class:`CampaignResult` of a stored run — zero solves.
+
+        The returned result is trial-identical to the one the original
+        ``run_campaign`` call returned (asserted in the test suite).  By
+        default an incomplete run raises; ``allow_partial=True`` returns
+        whatever is persisted (trials sorted into canonical order).
+        """
+        from repro.faults.campaign import CampaignResult
+
+        manifest = self.manifest(run_id)
+        pairs, torn = self.read_trials(run_id)
+        seen = {index for index, _ in pairs}
+        if len(seen) != len(pairs):
+            raise RunStoreError(f"run {run_id!r} has duplicate trial indices")
+        if not allow_partial and (torn or len(pairs) < manifest.total_trials):
+            raise RunStoreError(
+                f"run {run_id!r} is incomplete ({len(pairs)}/{manifest.total_trials} "
+                f"trials{' + torn tail' if torn else ''}); resume it first or "
+                f"pass allow_partial=True")
+        pairs.sort(key=lambda pair: pair[0])
+        return CampaignResult(
+            problem_name=manifest.problem_name,
+            mgs_position=manifest.mgs_position,
+            inner_iterations=manifest.inner_iterations,
+            detector_enabled=manifest.detector_enabled,
+            failure_free_outer=manifest.failure_free_outer,
+            failure_free_residual=manifest.failure_free_residual,
+            trials=[record for _, record in pairs],
+            repro_version=manifest.repro_version,
+            seed=manifest.seed,
+            spec_hash=manifest.spec_hash,
+        )
+
+    def query(self, run_id: str, *, allow_partial: bool = True) -> TrialQuery:
+        """A :class:`TrialQuery` over a stored run's trial records."""
+        pairs, _ = self.read_trials(run_id)
+        if not allow_partial:
+            manifest = self.manifest(run_id)
+            if len(pairs) < manifest.total_trials:
+                raise RunStoreError(
+                    f"run {run_id!r} is incomplete "
+                    f"({len(pairs)}/{manifest.total_trials} trials)")
+        pairs.sort(key=lambda pair: pair[0])
+        return TrialQuery(record for _, record in pairs)
+
+    # ------------------------------------------------------------------ #
+    # non-campaign artifacts (Table I, Figure 2)
+    # ------------------------------------------------------------------ #
+    def _artifact_path(self, name: str) -> str:
+        if not _RUN_ID_RE.match(name):
+            raise RunStoreError(f"invalid artifact name {name!r}")
+        return os.path.join(self.root, _ARTIFACTS, name + ".json")
+
+    def save_artifact(self, name: str, payload: dict) -> None:
+        """Persist a provenance-stamped JSON artifact under the store."""
+        from repro import __version__
+
+        path = self._artifact_path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        from repro.results.events import _jsonable
+
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"name": name, "repro_version": __version__,
+                       "payload": payload}, handle, indent=2, default=_jsonable)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def has_artifact(self, name: str) -> bool:
+        """True if an artifact with this name is stored."""
+        return os.path.isfile(self._artifact_path(name))
+
+    def load_artifact(self, name: str) -> dict:
+        """The payload saved by :meth:`save_artifact`."""
+        try:
+            with open(self._artifact_path(name), "r", encoding="utf-8") as handle:
+                return json.load(handle)["payload"]
+        except FileNotFoundError:
+            raise RunStoreError(f"no artifact {name!r} in {self.root}") from None
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise RunStoreError(f"corrupt artifact {name!r}: {exc}") from None

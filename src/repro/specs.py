@@ -33,6 +33,7 @@ __all__ = [
     "CampaignSpec",
     "apply_overrides",
     "parse_override_value",
+    "spec_hash",
     "SOLVER_METHODS",
     "ORTHOGONALIZATIONS",
     "DETECTOR_RESPONSES",
@@ -581,6 +582,24 @@ class CampaignSpec(_SpecBase):
         """Write the campaign spec to a JSON file."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
+
+
+# ---------------------------------------------------------------------- #
+# provenance hashing
+# ---------------------------------------------------------------------- #
+def spec_hash(spec) -> str:
+    """A short stable hash identifying a spec (or any JSON-able dict).
+
+    The hash is over the *canonical* JSON form (compact ``to_dict`` output,
+    keys sorted), so two specs that compare equal hash equal regardless of
+    how they were written down.  Used as the provenance stamp on results and
+    as the resume-compatibility check of the run store.
+    """
+    import hashlib
+
+    data = spec.to_dict() if hasattr(spec, "to_dict") else spec
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 # ---------------------------------------------------------------------- #

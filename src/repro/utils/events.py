@@ -1,80 +1,111 @@
-"""Structured solver event logging.
+"""Structured solver event logging — the legacy adapter over the event bus.
 
-Solvers and the fault-injection machinery emit :class:`SolverEvent` records
-into an :class:`EventLog`.  Experiments use the log to answer questions such
-as "was the injected fault detected?", "in which outer iteration did the
-detector fire?", or "how many entries did the filter reject?" without parsing
-text output.
+Solvers and the fault-injection machinery emit events into an
+:class:`EventLog`.  Since the unified results subsystem
+(:mod:`repro.results.events`) the log is itself an
+:class:`~repro.results.events.EventSink`: it stores the typed
+:class:`~repro.results.events.Event` records (``SolverEvent`` is the same
+class) *and* can forward each one, as it is recorded, to downstream sinks —
+which is how ``gmres(..., events=some_sink)`` streams solver events without
+changing a single floating-point operation.
+
+Experiments use the log to answer questions such as "was the injected fault
+detected?" or "how many entries did the filter reject?" without parsing text
+output.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+from repro.results.events import Event, EventSink, ensure_sink
 
 __all__ = ["SolverEvent", "EventLog"]
 
+#: The unified event schema.  ``SolverEvent`` predates the results subsystem
+#: and remains as the historical name of the same type.
+SolverEvent = Event
 
-@dataclass(frozen=True)
-class SolverEvent:
-    """A single structured event emitted by a solver or injector.
 
-    Attributes
+class EventLog(EventSink):
+    """An append-only list of :class:`Event` with query helpers.
+
+    Parameters
     ----------
-    kind : str
-        Event category, e.g. ``"fault_injected"``, ``"fault_detected"``,
-        ``"filter_rejected"``, ``"happy_breakdown"``, ``"rank_deficient"``,
-        ``"inner_solve_start"``, ``"converged"``.
-    where : str
-        The code site that emitted the event (e.g. ``"hessenberg"``).
-    outer_iteration : int
-        Outer (FGMRES) iteration index, or -1 when not applicable.
-    inner_iteration : int
-        Inner (GMRES/Arnoldi) iteration index, or -1 when not applicable.
-    data : dict
-        Free-form payload (original value, corrupted value, bound, ...).
+    forward_to : EventSink, callable, list, or None
+        Optional downstream sink(s); every event recorded into (or merged
+        into) this log is forwarded as it arrives.
     """
 
-    kind: str
-    where: str = ""
-    outer_iteration: int = -1
-    inner_iteration: int = -1
-    data: dict[str, Any] = field(default_factory=dict)
+    def __init__(self, forward_to=None) -> None:
+        self._events: list[Event] = []
+        sink = ensure_sink(forward_to)
+        self._sinks: tuple[EventSink, ...] = (sink,) if sink is not None else ()
 
+    @classmethod
+    def ensure(cls, events) -> "EventLog":
+        """Coerce a solver's ``events=`` argument to an EventLog.
 
-class EventLog:
-    """An append-only list of :class:`SolverEvent` with query helpers."""
+        ``None`` makes a fresh log; logs pass through; any other
+        :class:`EventSink` (or bare callable) is wrapped in a log that
+        forwards to it — so solvers keep their result-attached log semantics
+        while the caller observes the stream.
+        """
+        if events is None:
+            return cls()
+        if isinstance(events, cls):
+            return events
+        return cls(forward_to=events)
 
-    def __init__(self) -> None:
-        self._events: list[SolverEvent] = []
+    # ------------------------------------------------------------------ #
+    # sink protocol
+    # ------------------------------------------------------------------ #
+    def emit(self, event: Event) -> None:
+        """Store an event and forward it to any downstream sinks."""
+        self._events.append(event)
+        for sink in self._sinks:
+            sink.emit(event)
 
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
     def record(self, kind: str, where: str = "", outer_iteration: int = -1,
-               inner_iteration: int = -1, **data: Any) -> SolverEvent:
+               inner_iteration: int = -1, **data: Any) -> Event:
         """Create, store, and return an event."""
-        event = SolverEvent(
+        event = Event(
             kind=kind,
             where=where,
             outer_iteration=outer_iteration,
             inner_iteration=inner_iteration,
             data=dict(data),
         )
-        self._events.append(event)
+        self.emit(event)
         return event
 
     def extend(self, other: "EventLog") -> None:
-        """Append all events from another log (used to merge inner-solve logs)."""
-        self._events.extend(other._events)
+        """Append all events from another log (used to merge inner-solve logs).
+
+        Forwarding applies: downstream sinks of *this* log see the merged
+        events (in order) as they arrive.  Without sinks this is the
+        original single ``list.extend`` — the merge sits on the per-inner-
+        solve hot path, so the sink-less default must stay free.
+        """
+        if not self._sinks:
+            self._events.extend(other._events)
+            return
+        for event in other._events:
+            self.emit(event)
 
     def __len__(self) -> int:
         return len(self._events)
 
-    def __iter__(self) -> Iterator[SolverEvent]:
+    def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
     def __getitem__(self, idx):
         return self._events[idx]
 
-    def of_kind(self, kind: str) -> list[SolverEvent]:
+    def of_kind(self, kind: str) -> list[Event]:
         """All events whose ``kind`` matches exactly."""
         return [e for e in self._events if e.kind == kind]
 
@@ -87,5 +118,5 @@ class EventLog:
         return any(e.kind == kind for e in self._events)
 
     def clear(self) -> None:
-        """Drop all events."""
+        """Drop all events (downstream sinks are not rewound)."""
         self._events.clear()

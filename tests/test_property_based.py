@@ -203,7 +203,11 @@ class TestLeastSquaresProperties:
     @given(square_dense_matrices(max_dim=6), st.integers(0, 2**31 - 1))
     @settings(max_examples=60, deadline=None)
     def test_triangular_solve_matches_numpy(self, dense, seed):
-        R = np.triu(dense) + dense.shape[0] * np.eye(dense.shape[0])
+        # Shift by n + sum(|diag|) so no diagonal entry can cancel to zero
+        # (entry d becomes d + |d| + rest >= n > 0); the plain n*I shift made
+        # R singular for e.g. dense=[[-1.]] (found by hypothesis).
+        shift = dense.shape[0] + np.abs(np.diag(dense)).sum()
+        R = np.triu(dense) + shift * np.eye(dense.shape[0])
         rhs = np.random.default_rng(seed).standard_normal(dense.shape[0])
         np.testing.assert_allclose(solve_triangular(R, rhs), np.linalg.solve(R, rhs),
                                    rtol=1e-8, atol=1e-8)
