@@ -184,6 +184,7 @@ def arnoldi_step(
     ctx: ArnoldiContext,
     orthogonalization: str = "mgs",
     apply_operator=None,
+    workspace: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None, bool]:
     """Perform the ``j``-th Arnoldi step (0-based).
 
@@ -206,6 +207,11 @@ def arnoldi_step(
         Override for the operator application (used by FGMRES, where the
         "operator" for column ``j`` is ``A @ M_j^{-1}``).  Receives the basis
         vector, returns the vector to orthogonalize.
+    workspace : numpy.ndarray, optional
+        Length-``n`` float64 scratch for the fast MGS path's axpy buffer.
+        Callers that run many steps per solve (GMRES cycles) allocate it
+        once instead of paying one ``np.empty_like`` per step; contents are
+        clobbered.  Ignored by the hooked and CGS paths.
 
     Returns
     -------
@@ -257,8 +263,9 @@ def arnoldi_step(
         v = v.copy()
         if orthogonalization == "mgs":
             # The dot products and updates go straight to BLAS; a reused
-            # scratch buffer avoids one temporary allocation per coefficient.
-            scratch = np.empty_like(v)
+            # scratch buffer avoids one temporary allocation per coefficient
+            # (and, when the caller supplies a per-solve workspace, per step).
+            scratch = workspace if workspace is not None else np.empty_like(v)
             for i in range(j + 1):
                 q_i = Q[:, i]
                 h = np.dot(q_i, v)

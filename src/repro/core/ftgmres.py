@@ -62,6 +62,7 @@ def ft_gmres(
     injector=None,
     sandbox=None,
     events: EventLog | None = None,
+    profile=None,
 ) -> NestedSolverResult:
     """Solve ``A x = b`` with the fault-tolerant nested FT-GMRES iteration.
 
@@ -93,6 +94,11 @@ def ft_gmres(
         Merged event destination for the whole nested solve (any
         :class:`~repro.results.events.EventSink` streams the events: outer
         events as they happen, each inner solve's events when it completes).
+    profile : KernelProfile, optional
+        Accumulate per-phase kernel time (spmv/precond/orth/lsq) of every
+        *inner* solve into this :class:`~repro.utils.profile.KernelProfile`.
+        ``None`` (default) performs no timing; profiled runs are bit-identical
+        to unprofiled ones (see :func:`repro.core.gmres.gmres`).
 
     Returns
     -------
@@ -139,6 +145,7 @@ def ft_gmres(
                 q_j,
                 injector=injector,
                 events=inner_events,
+                profile=profile,
                 outer_iteration=outer_iteration,
                 inner_solve_index=outer_iteration,
                 iteration_offset=offset,
@@ -182,4 +189,5 @@ def ft_gmres(
         history=outer_result.history,
         inner_results=inner_results,
         events=events,
+        profile=profile,
     )

@@ -16,6 +16,7 @@ Gram–Schmidt), extended with:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter as _perf_counter
 
 import numpy as np
 
@@ -88,6 +89,7 @@ def gmres(
     bound_method: str = "frobenius",
     injector=None,
     events: EventLog | None = None,
+    profile=None,
     outer_iteration: int = -1,
     inner_solve_index: int = -1,
     iteration_offset: int = 0,
@@ -140,6 +142,13 @@ def gmres(
         every event as it is recorded, streamed through a fresh log.  A new
         log is created when omitted; the log ends up on the result either
         way.
+    profile : KernelProfile, optional
+        Accumulate per-phase wall time (spmv/precond/orth/lsq) into this
+        :class:`~repro.utils.profile.KernelProfile`.  ``None`` (the default)
+        skips all timing — the hot loop performs no clock reads — and the
+        profiled path performs the identical floating-point operations, so
+        results match bit for bit either way.  When set, the profile lands
+        on the result and a ``kernel_profile`` event is recorded.
     outer_iteration, inner_solve_index, iteration_offset : int
         Bookkeeping for nested (FT-GMRES) use: they position this solve's
         iterations on the "aggregate inner iteration" axis of the paper's
@@ -181,15 +190,30 @@ def gmres(
     norm_b = float(np.linalg.norm(b))
     target = tol * norm_b if norm_b > 0.0 else tol
 
-    if apply_precond is None:
-        operator_apply = None  # arnoldi_step will call op.matvec directly
+    if profile is None:
+        if apply_precond is None:
+            operator_apply = None  # arnoldi_step will call op.matvec directly
+        else:
+            def operator_apply(q, _op=op, _mi=apply_precond):
+                return _op.matvec(_mi(q))
     else:
-        def operator_apply(q, _op=op, _mi=apply_precond):
-            return _op.matvec(_mi(q))
+        # Timed closures pass values through unchanged (conforming float64
+        # vectors survive arnoldi_step's asarray untouched), so profiling
+        # never perturbs the arithmetic.
+        timed_matvec = profile.timed("spmv", op.matvec)
+        if apply_precond is None:
+            operator_apply = timed_matvec
+        else:
+            def operator_apply(q, _op=timed_matvec,
+                               _mi=profile.timed("precond", apply_precond)):
+                return _op(_mi(q))
 
     total_iterations = 0
     status = SolverStatus.MAX_ITERATIONS
     residual_norm = float("nan")
+    # Per-solve MGS scratch: arnoldi_step would otherwise allocate an
+    # n-vector every iteration (see its ``workspace`` parameter).
+    mgs_scratch = np.empty(n, dtype=np.float64)
 
     # Initial residual (reliable).
     r = b - op.matvec(x)
@@ -198,7 +222,7 @@ def gmres(
     history.append(residual_norm)
     if residual_norm <= target:
         return SolverResult(x, SolverStatus.CONVERGED, 0, residual_norm, history, events,
-                            ctx.matvecs)
+                            ctx.matvecs, profile=profile)
 
     while total_iterations < maxiter:
         beta = float(np.linalg.norm(r))
@@ -215,11 +239,22 @@ def gmres(
         k = 0
         cycle_status = None
         for j in range(cycle_len):
+            if profile is not None:
+                hooked_before = profile.spmv_time + profile.precond_time
+                step_start = _perf_counter()
             h_col, q_next, breakdown = arnoldi_step(
                 op, basis, j, ctx, orthogonalization=orthogonalization,
-                apply_operator=operator_apply,
+                apply_operator=operator_apply, workspace=mgs_scratch,
             )
+            if profile is not None:
+                # Orthogonalization time is the step minus what the timed
+                # operator closures already booked to spmv/precond.
+                hooked = (profile.spmv_time + profile.precond_time) - hooked_before
+                profile.add("orth", _perf_counter() - step_start - hooked)
+                lsq_start = _perf_counter()
             resid_est = hess.add_column(h_col)
+            if profile is not None:
+                profile.add("lsq", _perf_counter() - lsq_start)
             total_iterations += 1
             k = j + 1
             history.append(resid_est)
@@ -232,7 +267,11 @@ def gmres(
 
         # Form the solution update from this cycle.
         if k > 0:
+            if profile is not None:
+                lsq_start = _perf_counter()
             y, lsq_info = hess.solve_y(policy=policy, tol=lsq_tol)
+            if profile is not None:
+                profile.add("lsq", _perf_counter() - lsq_start)
             if lsq_info.get("fallback"):
                 events.record("lsq_fallback", where="least_squares",
                               outer_iteration=outer_iteration, inner_iteration=total_iterations)
@@ -284,6 +323,11 @@ def gmres(
             status = SolverStatus.MAX_ITERATIONS
             break
 
+    if profile is not None:
+        events.record("kernel_profile", where="gmres",
+                      outer_iteration=outer_iteration,
+                      inner_iteration=total_iterations,
+                      profile=profile.to_dict())
     return SolverResult(
         x=x,
         status=status,
@@ -292,4 +336,5 @@ def gmres(
         history=history,
         events=events,
         matvecs=ctx.matvecs,
+        profile=profile,
     )

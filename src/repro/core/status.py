@@ -113,6 +113,9 @@ class SolverResult:
         Structured events (faults injected/detected, breakdowns, ...).
     matvecs : int
         Number of operator applications (the dominant cost).
+    profile : KernelProfile or None
+        Per-phase kernel timings (see :mod:`repro.utils.profile`), present
+        only when the solve was run with profiling enabled.
     """
 
     x: np.ndarray
@@ -122,6 +125,7 @@ class SolverResult:
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
     events: EventLog = field(default_factory=EventLog)
     matvecs: int = 0
+    profile: object | None = None
 
     @property
     def converged(self) -> bool:
@@ -130,7 +134,7 @@ class SolverResult:
 
     def summary(self) -> dict:
         """The headline fields (common result schema, ``kind="solver"``)."""
-        return {
+        out = {
             "kind": "solver",
             "status": self.status.value,
             "converged": self.converged,
@@ -138,6 +142,9 @@ class SolverResult:
             "residual_norm": self.residual_norm,
             "matvecs": self.matvecs,
         }
+        if self.profile is not None:
+            out["kernel_profile"] = self.profile.to_dict()
+        return out
 
     def to_dict(self, *, include_solution: bool = False) -> dict:
         """JSON-ready dict: the summary plus history and event counts.
@@ -182,6 +189,9 @@ class NestedSolverResult:
         One entry per inner solve, in order.
     events : EventLog
         Merged event log (outer events plus every inner solve's events).
+    profile : KernelProfile or None
+        Per-phase kernel timings accumulated across all inner solves
+        (see :mod:`repro.utils.profile`); ``None`` unless profiling was on.
     """
 
     x: np.ndarray
@@ -192,6 +202,7 @@ class NestedSolverResult:
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
     inner_results: list[SolverResult] = field(default_factory=list)
     events: EventLog = field(default_factory=EventLog)
+    profile: object | None = None
 
     @property
     def converged(self) -> bool:
@@ -210,7 +221,7 @@ class NestedSolverResult:
 
     def summary(self) -> dict:
         """The headline fields (common result schema, ``kind="nested_solver"``)."""
-        return {
+        out = {
             "kind": "nested_solver",
             "status": self.status.value,
             "converged": self.converged,
@@ -220,6 +231,9 @@ class NestedSolverResult:
             "faults_injected": self.faults_injected,
             "faults_detected": self.faults_detected,
         }
+        if self.profile is not None:
+            out["kernel_profile"] = self.profile.to_dict()
+        return out
 
     def to_dict(self, *, include_solution: bool = False) -> dict:
         """JSON-ready dict: summary, outer history, per-inner-solve summaries."""

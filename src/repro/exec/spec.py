@@ -93,6 +93,7 @@ class CampaignConfig:
     site: str
     inner_params: object | None = None
     outer_params: object | None = None
+    kernels: str | None = None
 
     def __post_init__(self) -> None:
         if (self.problem is None) == (self.problem_factory is None):
@@ -133,4 +134,5 @@ class CampaignConfig:
             site=self.site,
             inner_params=copy.deepcopy(self.inner_params),
             outer_params=copy.deepcopy(self.outer_params),
+            kernels=self.kernels,
         )

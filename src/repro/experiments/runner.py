@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import Sequence
 
 from repro.experiments.figure2 import figure2_payload
@@ -130,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
                         help="trials advanced in lockstep per batch "
                              "(batched backend only; default 32)")
+    parser.add_argument("--kernels", default=None,
+                        choices=["auto", "numpy", "scipy", "numba"],
+                        help="sparse kernel tier for every solve (default: "
+                             "REPRO_KERNELS or numpy; 'auto' picks the best "
+                             "available compiled tier).  Strongest selector: "
+                             "overrides the env var and spec.exec.kernels")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="persist runs into a run store directory: each "
                              "completed trial is appended (and flushed) to "
@@ -341,6 +348,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.kernels is not None:
+        # The flag is the strongest selector in the precedence
+        # spec < REPRO_KERNELS < flag; publishing it as the env var applies
+        # it to every campaign and worker this invocation creates.
+        os.environ["REPRO_KERNELS"] = args.kernels
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     problems = paper_problems(args.scale)
     try:

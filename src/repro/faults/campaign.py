@@ -289,6 +289,12 @@ class FaultCampaign:
         Overrides for the nested-solver configuration.
     site : str
         Injection site (default ``"hessenberg"``).
+    kernels : str or None
+        Sparse kernel tier for every trial's hot kernels (``"numpy"``/
+        ``"scipy"``/``"numba"``/``"auto"``); ``None`` defers to the
+        ``REPRO_KERNELS`` environment variable, else ``"numpy"``.  The
+        problem's matrix is rebound to the tier *before* detectors and
+        preconditioners are resolved, so their factors solve on it too.
     """
 
     def __init__(
@@ -305,9 +311,16 @@ class FaultCampaign:
         inner_params: GMRESParameters | None = None,
         outer_params: FGMRESParameters | None = None,
         site: str | None = None,
+        kernels: str | None = None,
     ):
+        from repro.sparse.kernels import effective_kernels
+
         # ``None`` sentinels defer to the CampaignSpec field defaults — the
         # one place the paper's 25/100/1e-8 configuration is written down.
+        self.kernels = effective_kernels(kernels)
+        if (hasattr(problem, "with_engine")
+                and getattr(problem.A, "engine_name", self.kernels) != self.kernels):
+            problem = problem.with_engine(self.kernels)
         self.problem = problem
         self.inner_iterations = int(inner_iterations if inner_iterations is not None
                                     else _DEFAULTS.inner_iterations)
@@ -421,6 +434,7 @@ class FaultCampaign:
             inner_params=inner_params,
             outer_params=outer_params,
             site=spec.site,
+            kernels=spec.exec.kernels,
         )
         from repro.results.store import campaign_fingerprint
 
@@ -632,6 +646,7 @@ class FaultCampaign:
             site=self.site,
             inner_params=self._inner_params_spec,
             outer_params=self._outer_params_spec,
+            kernels=self.kernels,
         )
 
     def trial_specs(self, locations) -> list:

@@ -59,6 +59,7 @@ class ILU0Preconditioner(Preconditioner):
         # Duplicate (i, j) entries are legal CSR input (reductions sum them)
         # but the elimination below needs one stored slot per pattern entry,
         # so collapse duplicates into canonical summed form first.
+        self._engine = getattr(A, "engine", None)
         A = _sum_duplicates(A)
         # Work on a copy of the CSR data; the pattern never changes.
         self.indptr = A.indptr.copy()
@@ -142,10 +143,13 @@ class ILU0Preconditioner(Preconditioner):
         present = self._diag_ptr >= 0
         stored = self.data[self._diag_ptr[present]]
         pivots[present] = np.where(stored != 0.0, stored, 1.0)
+        # The factors solve on the same kernel tier as the matrix they were
+        # built from, so campaigns that rebind the problem's engine get
+        # compiled substitutions too.
         self._L = TriangularFactor(n, l_ptr, l_ind, l_dat, diag=None, lower=True, mode=mode,
-                                   check=False)
+                                   check=False, engine=self._engine)
         self._U = TriangularFactor(n, u_ptr, u_ind, u_dat, diag=pivots, lower=False,
-                                   mode=mode, check=False)
+                                   mode=mode, check=False, engine=self._engine)
 
     @property
     def factors(self) -> tuple[TriangularFactor, TriangularFactor]:

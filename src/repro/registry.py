@@ -54,11 +54,12 @@ __all__ = [
     "resolve_problem",
     "resolve_sink",
     "backend_knobs",
+    "resolve_kernels",
 ]
 
 #: The registered component namespaces.
 NAMESPACES = ("solver", "preconditioner", "detector", "fault_model",
-              "problem", "backend", "sink")
+              "problem", "backend", "sink", "kernels")
 
 
 class RegistryError(ValueError):
@@ -700,3 +701,45 @@ def _build_console_sink(ctx, every=1):
     from repro.results.events import ConsoleSink
 
     return ConsoleSink(every=int(every))
+
+
+# ----------------------------- kernels -------------------------------- #
+# Sparse kernel tiers (see repro.sparse.kernels).  Factories return the
+# stateless engine singleton; unavailable tiers raise a RegistryError with
+# an install hint rather than resolving to a broken engine.
+def _register_kernel_tier(name: str, *, compiled: bool, description: str):
+    @register("kernels", name, compiled=compiled, description=description)
+    def _build_engine(ctx, _name=name):
+        from repro.sparse.kernels import resolve_engine
+
+        try:
+            return resolve_engine(_name)
+        except ValueError as exc:
+            raise RegistryError(str(exc)) from exc
+
+
+_register_kernel_tier(
+    "numpy", compiled=False,
+    description="pure-NumPy reference kernels (bit-exact, always available)")
+_register_kernel_tier(
+    "scipy", compiled=True,
+    description="scipy.sparse compiled C kernels over zero-copy views")
+_register_kernel_tier(
+    "numba", compiled=True,
+    description="numba JIT fused kernels (install the [accel] extra)")
+_register_kernel_tier(
+    "auto", compiled=True,
+    description="best available tier: numba, else scipy, else numpy")
+
+
+def resolve_kernels(spec, **ctx_kwargs):
+    """Resolve a kernel-tier spec to a ``KernelEngine`` via the registry."""
+    from repro.sparse.kernels import KernelEngine
+
+    if isinstance(spec, KernelEngine):
+        return spec
+    if spec is None:
+        from repro.sparse.kernels import default_kernels
+
+        spec = default_kernels()
+    return resolve("kernels", spec, ResolveContext(**ctx_kwargs))

@@ -30,6 +30,9 @@ kind                     meaning / payload
 ``inner_solve_complete`` one inner solve of FT-GMRES finished
 ``inner_result_nonfinite``  inner solve returned NaN/Inf (screened)
 ``lsq_fallback`` / ``lsq_nonfinite``  projected least-squares anomalies
+``kernel_profile``       per-phase kernel timings of a profiled solve
+                         (data: ``profile`` — spmv/precond/orth/lsq seconds
+                         and call counts, see :mod:`repro.utils.profile`)
 =======================  =====================================================
 
 Campaign level (``trial_index`` set where applicable):

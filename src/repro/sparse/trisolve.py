@@ -30,18 +30,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse.kernels import NUMPY_ENGINE, resolve_engine
+
 __all__ = ["TriangularFactor", "split_triangle", "SEQUENTIAL_LEVEL_THRESHOLD"]
 
 #: Below this mean number of rows per level the vectorized path's slicing
 #: overhead exceeds its gain and ``mode="auto"`` picks the sequential sweep.
 SEQUENTIAL_LEVEL_THRESHOLD = 4.0
-
-#: Shared zero-offset index for single-segment ``np.add.reduceat`` calls in
-#: the sequential path (keeps it allocation-free and — crucially — performs
-#: the *same ufunc reduction* as the level-scheduled path, so the two paths
-#: agree bit for bit).
-_SEG0 = np.zeros(1, dtype=np.int64)
-
 
 def split_triangle(indptr, indices, data, n: int, part: str, row_ids=None):
     """Extract the strict lower or upper triangle of square CSR arrays.
@@ -90,13 +85,22 @@ class TriangularFactor:
         Verify the strict-triangle invariant (an O(nnz) pass).  Callers
         whose arrays come from :func:`split_triangle` pass ``False`` —
         strictness holds by construction.
+    engine : str, KernelEngine or None
+        The kernel tier computing default solves (see
+        :mod:`repro.sparse.kernels`); ``None`` resolves the ambient default.
+        Explicit ``mode=`` overrides on :meth:`solve` always run the numpy
+        reference paths — the documented level/sequential bit-identity
+        contract is a property of the reference kernels.
     """
 
     def __init__(self, n, indptr, indices, data, diag=None, *, lower: bool = True,
-                 mode: str = "auto", check: bool = True):
+                 mode: str = "auto", check: bool = True, engine=None):
         if mode not in ("auto", "level", "sequential"):
             raise ValueError(f"mode must be 'auto', 'level' or 'sequential', got {mode!r}")
         self.n = int(n)
+        self._engine = resolve_engine(engine)
+        self._kernel_cache: dict = {}
+        self._ws = None
         self.lower = bool(lower)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
@@ -127,12 +131,14 @@ class TriangularFactor:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_csr(cls, A, part: str = "lower", diag=None, *, unit_diagonal: bool = False,
-                 mode: str = "auto") -> "TriangularFactor":
+                 mode: str = "auto", engine=None) -> "TriangularFactor":
         """Build a factor from the triangle of a square :class:`CSRMatrix`.
 
         ``diag=None`` extracts the diagonal of ``A`` (missing entries are 0
         and will poison the solve — pass a corrected diagonal when the
         matrix may lack one).  ``unit_diagonal=True`` ignores ``diag``.
+        ``engine=None`` inherits ``A``'s kernel engine, so preconditioners
+        built from an engine-bound matrix solve on the same tier.
         """
         if A.shape[0] != A.shape[1]:
             raise ValueError(f"triangular factors require a square matrix, got {A.shape}")
@@ -143,8 +149,10 @@ class TriangularFactor:
             d = None
         else:
             d = A.diagonal() if diag is None else diag
+        if engine is None:
+            engine = getattr(A, "engine", None)
         return cls(n, indptr, indices, data, d, lower=(part == "lower"), mode=mode,
-                   check=False)
+                   check=False, engine=engine)
 
     def _check_strict(self) -> None:
         if self.indices.size == 0:
@@ -230,7 +238,10 @@ class TriangularFactor:
         ``b`` of a block solve is *bit-identical* to ``solve(b[:, b])``.
 
         ``mode`` overrides the factor's default path; the level-scheduled
-        and row-sequential paths produce bit-identical results.
+        and row-sequential paths produce bit-identical results.  Default
+        solves (``mode=None``) dispatch to the factor's kernel engine; an
+        explicit ``mode`` always runs the corresponding numpy reference
+        path, which is what the bit-identity contract is stated for.
         """
         b = np.asarray(b, dtype=np.float64)
         if b.ndim not in (1, 2):
@@ -239,62 +250,84 @@ class TriangularFactor:
             raise ValueError(
                 f"b has {b.shape[0]} rows, expected {self.n} "
                 f"(a length-{self.n} vector or a ({self.n}, B) block)")
-        mode = self.mode if mode is None else mode
+        if mode is None:
+            return self._engine.trisolve(self, b)
         if mode == "sequential":
             return self._solve_sequential(b)
         if mode != "level":
             raise ValueError(f"mode must be 'level' or 'sequential', got {mode!r}")
         return self._solve_levels(b)
 
+    def _level_workspace(self) -> tuple:
+        """Preallocated buffers for the reference 1-D level solve.
+
+        Sized once per factor to the widest level: ``(gather, products,
+        row-values, diagonal)`` scratch, sliced per level so the hot loop
+        performs zero allocations.  Built lazily — factors that only ever
+        run block solves or compiled tiers never pay for it.
+        """
+        ws = self._ws
+        if ws is None:
+            level_entry = self._perm_indptr[self._level_ptr]
+            max_entries = int(np.diff(level_entry).max()) if self.num_levels else 0
+            max_rows = int(np.diff(self._level_ptr).max()) if self.num_levels else 0
+            ws = self._ws = (
+                np.empty(max_entries, dtype=np.float64),
+                np.empty(max_entries, dtype=np.float64),
+                np.empty(max_rows, dtype=np.float64),
+                np.empty(max_rows, dtype=np.float64),
+            )
+        return ws
+
     def _solve_levels(self, b: np.ndarray) -> np.ndarray:
         """One vectorized gather + segment sum + scatter per dependency level.
 
         Handles vectors and ``(n, B)`` blocks with the same code: the gathers
         pick whole rows of ``x``, the segment sum runs along axis 0, and the
-        diagonal scaling broadcasts across the block axis.
+        diagonal scaling broadcasts across the block axis.  (Implemented by
+        the reference :class:`~repro.sparse.kernels.NumpyEngine`; kept as a
+        method because the equivalence suites exercise the paths by name.)
         """
-        x = b.copy()
-        block = x.ndim == 2
-        rows_all, level_ptr = self._rows, self._level_ptr
-        perm_indptr, perm_indices, perm_data = \
-            self._perm_indptr, self._perm_indices, self._perm_data
-        coeff = perm_data[:, None] if block else perm_data
-        diag, unit = self.diag, self.unit_diagonal
-        for lev in range(self.num_levels):
-            r0, r1 = level_ptr[lev], level_ptr[lev + 1]
-            rows = rows_all[r0:r1]
-            e0, e1 = perm_indptr[r0], perm_indptr[r1]
-            if e1 > e0:
-                # Every row past level 0 owns >= 1 entry, so the segment
-                # starts are strictly valid reduceat offsets.
-                prods = coeff[e0:e1] * x[perm_indices[e0:e1]]
-                acc = np.add.reduceat(prods, perm_indptr[r0:r1] - e0, axis=0)
-                vals = x[rows] - acc
-            else:
-                vals = x[rows]
-            if not unit:
-                d = diag[rows]
-                vals = vals / (d[:, None] if block else d)
-            x[rows] = vals
-        return x
+        return NUMPY_ENGINE.trisolve_levels(self, b)
 
     def _solve_sequential(self, b: np.ndarray) -> np.ndarray:
         """Row-by-row substitution, bit-identical to the level path."""
-        x = b.copy()
-        block = x.ndim == 2
-        indptr, indices, data = self.indptr, self.indices, self.data
-        coeff = data[:, None] if block else data
-        diag, unit = self.diag, self.unit_diagonal
-        order = range(self.n) if self.lower else range(self.n - 1, -1, -1)
-        for i in order:
-            start, stop = indptr[i], indptr[i + 1]
-            if stop > start:
-                prods = coeff[start:stop] * x[indices[start:stop]]
-                val = x[i] - np.add.reduceat(prods, _SEG0, axis=0)[0]
-            else:
-                val = x[i]
-            x[i] = val if unit else val / diag[i]
-        return x
+        return NUMPY_ENGINE.trisolve_sequential(self, b)
+
+    # ------------------------------------------------------------------ #
+    # kernel engine / pickling
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The :class:`~repro.sparse.kernels.KernelEngine` for default solves."""
+        return self._engine
+
+    @property
+    def engine_name(self) -> str:
+        """The kernel tier name (``"numpy"``, ``"scipy"`` or ``"numba"``)."""
+        return self._engine.name
+
+    def with_engine(self, engine) -> "TriangularFactor":
+        """This factor on another kernel tier, sharing all data and schedule."""
+        resolved = resolve_engine(engine)
+        if resolved is self._engine:
+            return self
+        other = TriangularFactor.__new__(TriangularFactor)
+        other.__dict__.update(self.__dict__)
+        other._engine = resolved
+        return other
+
+    def __getstate__(self) -> dict:
+        """Pickle by tier name, without per-engine caches and workspaces."""
+        state = self.__dict__.copy()
+        state["_kernel_cache"] = {}
+        state["_ws"] = None
+        state["_engine"] = self._engine.name
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state["_engine"] = resolve_engine(state["_engine"])
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -414,20 +414,29 @@ class ExecutionSpec(_SpecBase):
     the batched backend, ``workers``/``chunksize`` only to the pool backends
     — with errors that say which knob to drop or which backend to pick (see
     :func:`repro.exec.executor.validate_backend_knobs`).
+
+    ``kernels`` selects the sparse kernel tier (``"numpy"``/``"scipy"``/
+    ``"numba"``/``"auto"``; see :mod:`repro.sparse.kernels`).  Like every
+    other execution knob it is excluded from the campaign fingerprint —
+    runs checkpoint/resume across tiers — and it sits at the bottom of the
+    selection precedence ``spec < REPRO_KERNELS < explicit flag``.
     """
 
     backend: str | None = None
     workers: int | None = None
     chunksize: int | None = None
     batch_size: int | None = None
+    kernels: str | None = None
 
     def __post_init__(self):
         from repro.exec.executor import BACKENDS, validate_backend_knobs
+        from repro.sparse.kernels import KERNEL_CHOICES
 
         _check_choice("backend", self.backend, BACKENDS, allow_none=True)
         _check_int("workers", self.workers, minimum=0, allow_none=True)
         _check_int("chunksize", self.chunksize, minimum=1, allow_none=True)
         _check_int("batch_size", self.batch_size, minimum=1, allow_none=True)
+        _check_choice("kernels", self.kernels, KERNEL_CHOICES, allow_none=True)
         try:
             validate_backend_knobs(self.backend, workers=self.workers,
                                    chunksize=self.chunksize,

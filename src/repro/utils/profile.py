@@ -1,0 +1,91 @@
+"""Per-phase kernel timing for the solver hot loop.
+
+:class:`KernelProfile` accumulates wall time in the four phases every GMRES
+iteration spends its cycles in — the sparse matvec, the preconditioner
+application, the orthogonalization sweep, and the projected least-squares
+update — so benchmark reports can show *where* a configuration's time goes
+(which kernel tier helped, and what the next bottleneck is).
+
+The profile is strictly opt-in: solvers take ``profile=None`` by default and
+skip every timing call on that path, so failure-free and campaign hot loops
+pay zero overhead unless a caller asks.  When enabled, the timed closures
+pass values through unchanged (a ``perf_counter`` pair around the same
+calls), so profiled results are bit-identical to unprofiled ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["KernelProfile"]
+
+#: The phases a profile accumulates, in reporting order.
+_PHASES = ("spmv", "precond", "orth", "lsq")
+
+
+class KernelProfile:
+    """Accumulated per-phase seconds (and call counts) of one or more solves.
+
+    Attributes
+    ----------
+    spmv_time, precond_time, orth_time, lsq_time : float
+        Wall seconds accumulated per phase.
+    spmv_calls, precond_calls, orth_calls, lsq_calls : int
+        Number of timed regions per phase.
+    """
+
+    __slots__ = tuple(f"{p}_time" for p in _PHASES) + \
+        tuple(f"{p}_calls" for p in _PHASES)
+
+    def __init__(self) -> None:
+        for phase in _PHASES:
+            setattr(self, f"{phase}_time", 0.0)
+            setattr(self, f"{phase}_calls", 0)
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` of wall time into ``phase``."""
+        if phase not in _PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {_PHASES}")
+        setattr(self, f"{phase}_time", getattr(self, f"{phase}_time") + seconds)
+        setattr(self, f"{phase}_calls", getattr(self, f"{phase}_calls") + calls)
+
+    def merge(self, other: "KernelProfile") -> "KernelProfile":
+        """Fold another profile's accumulations into this one (returns self)."""
+        for phase in _PHASES:
+            self.add(phase, getattr(other, f"{phase}_time"),
+                     getattr(other, f"{phase}_calls"))
+        return self
+
+    @property
+    def total_time(self) -> float:
+        """Seconds across all phases (excludes untimed bookkeeping)."""
+        return sum(getattr(self, f"{p}_time") for p in _PHASES)
+
+    def to_dict(self) -> dict:
+        """JSON-ready ``{phase: {"seconds": ..., "calls": ...}}`` mapping."""
+        out = {}
+        for phase in _PHASES:
+            out[phase] = {"seconds": getattr(self, f"{phase}_time"),
+                          "calls": getattr(self, f"{phase}_calls")}
+        out["total_seconds"] = self.total_time
+        return out
+
+    def timed(self, phase: str, func):
+        """Wrap ``func`` so each call accumulates into ``phase``.
+
+        The wrapper passes arguments and the return value through unchanged;
+        only two ``perf_counter`` reads are added around the call.
+        """
+        def _timed(*args, _func=func, _phase=phase, **kwargs):
+            start = time.perf_counter()
+            result = _func(*args, **kwargs)
+            self.add(_phase, time.perf_counter() - start)
+            return result
+
+        return _timed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{p}={getattr(self, f'{p}_time'):.4f}s/{getattr(self, f'{p}_calls')}"
+            for p in _PHASES)
+        return f"KernelProfile({parts})"

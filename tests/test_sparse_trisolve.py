@@ -123,7 +123,11 @@ class TestGalleryMatrices:
         tri.setdiag(diag)
         ref = spla.spsolve_triangular(tri, b, lower=(part == "lower"))
         np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-9)
-        np.testing.assert_array_equal(x, factor.solve(b, mode="sequential"))
+        # The two numpy reference paths are bit-identical (the default solve
+        # may dispatch to a compiled tier under REPRO_KERNELS, which carries
+        # the relative contract instead — see tests/test_kernel_engines.py).
+        np.testing.assert_array_equal(factor.solve(b, mode="level"),
+                                      factor.solve(b, mode="sequential"))
 
     def test_poisson_level_structure_is_wavefront(self):
         """On a 2-D grid the levels are the anti-diagonal wavefronts."""
