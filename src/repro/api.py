@@ -216,7 +216,16 @@ def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
                 f"run {run_id!r} was produced by a different campaign "
                 f"(stored spec hash {manifest.spec_hash}, this campaign "
                 f"{fingerprint}); choose another run_id")
-        completed = store.recover(run_id)  # also truncates a torn tail
+        recovered = store.recover(run_id)  # also truncates a torn tail
+        # Last-wins per index, then drop error records (worker crash, soft
+        # timeout): those indices count as *not done*, so the resumed run
+        # re-executes exactly the casualties.  The re-run's record
+        # supersedes the stored error record on read.
+        latest: dict = {}
+        for index, record in recovered:
+            latest[index] = record
+        completed = sorted((index, record) for index, record in latest.items()
+                           if getattr(record, "status", None) != "error")
         plan = campaign.plan(
             locations=manifest.locations,
             baseline=(manifest.failure_free_outer,

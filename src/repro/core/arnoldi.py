@@ -13,10 +13,23 @@ Injection sites (strings used by :mod:`repro.faults`):
 site        quantity
 ========== ==============================================================
 ``spmv``        the vector ``v = A q_j`` (line 4)
+``precond``     the preconditioned vector ``z = M^{-1} q_j`` (consulted by
+                the preconditioned solvers' operator closures, which call
+                :meth:`ArnoldiContext.inject_vector` with the current step)
 ``hessenberg``  an orthogonalization coefficient ``h_ij`` (line 6)
+``orth``        the orthogonalized (not yet normalized) vector
+                ``v - sum_i h_ij q_i`` (line 8)
 ``subdiag``     the subdiagonal entry ``h_{j+1,j} = ||v||`` (line 9)
 ``basis``       the normalized new basis vector ``q_{j+1}`` (line 14)
+``givens``      a Givens rotation coefficient ``c``/``s`` of the
+                incremental QR update (consulted by the least-squares
+                layer, see :mod:`repro.core.least_squares`)
 ========== ==============================================================
+
+Every site receives the full iteration context (outer iteration, inner-solve
+index, local and aggregate inner iteration, MGS position where applicable),
+so schedules address any site with the same coordinates the paper's sweep
+figures use.
 """
 
 from __future__ import annotations
@@ -78,6 +91,11 @@ class ArnoldiContext:
         iteration" coordinate used by the paper's sweep figures.
     matvecs : int
         Running count of operator applications.
+    current_iteration : int
+        The local iteration of the Arnoldi step currently executing
+        (maintained by :func:`arnoldi_step`).  Lets code *called from inside*
+        a step — preconditioner closures, bound operator wrappers — report
+        real iteration context to the injector instead of a placeholder.
     """
 
     injector: object | None = None
@@ -88,6 +106,7 @@ class ArnoldiContext:
     inner_solve_index: int = -1
     iteration_offset: int = 0
     matvecs: int = 0
+    current_iteration: int = -1
 
     def __post_init__(self) -> None:
         if self.detector_response not in VALID_RESPONSES:
@@ -107,6 +126,17 @@ class ArnoldiContext:
             "aggregate_inner_iteration": self.iteration_offset + iteration,
             "mgs_index": mgs_index,
         }
+
+    def current_context(self) -> dict:
+        """The live injection context of the step currently executing.
+
+        Used by black-box wrappers (:mod:`repro.faults.targets`) bound to a
+        running solver so their injector consults see real iteration
+        coordinates rather than raw call counts.
+        """
+        kwargs = self._ctx_kwargs(self.current_iteration, -1)
+        kwargs["mgs_length"] = 0
+        return kwargs
 
     def inject_scalar(self, site: str, value: float, iteration: int, mgs_index: int = -1,
                       mgs_length: int = 0) -> float:
@@ -236,6 +266,7 @@ def arnoldi_step(
     # bit-for-bit identical to the hooked path with a null context
     # (asserted in the test suite).
     fast = ctx.injector is None and ctx.detector is None
+    ctx.current_iteration = j
 
     q_j = basis[:, j]
     if apply_operator is None:
@@ -306,6 +337,10 @@ def arnoldi_step(
             h_col[: j + 1] += coeffs
 
     if not fast:
+        # The orthogonalized-but-unnormalized vector is its own site: a fault
+        # here lands *after* the coefficients were computed cleanly, which is
+        # a different propagation path than spmv or hessenberg corruption.
+        v = ctx.inject_vector("orth", v, iteration=j)
         norm_v = float(np.linalg.norm(v))
         norm_v = ctx.inject_scalar("subdiag", norm_v, iteration=j, mgs_index=j + 1,
                                    mgs_length=j + 1)

@@ -66,6 +66,7 @@ __all__ = [
     "BatchedGivensQR",
     "BatchedArnoldi",
     "BatchedTrialSetup",
+    "BATCHED_SITES",
     "batched_support_reason",
     "batched_ft_gmres",
 ]
@@ -387,13 +388,22 @@ class BatchedTrialSetup:
         protocol the serial solvers use, so its records are authoritative.
     hessenberg_target : int or None
         The aggregate inner iteration at which the injector's schedule can
-        fire on the ``hessenberg`` site, or ``None`` when the schedule has no
-        aggregate pin (the injector is then consulted at every coefficient,
-        exactly like the serial hooked path).
+        fire, or ``None`` when the schedule has no aggregate pin (the
+        injector is then consulted at every lockstep-supported site of every
+        iteration, exactly like the serial hooked path).  Named for the
+        original (``hessenberg``-only) engine; it anchors prefix-sharing
+        divergence for the ``spmv`` site the same way.
     """
 
     injector: object
     hessenberg_target: int | None = None
+
+
+#: Sites the lockstep engine injects lane-exactly: per-coefficient scalars
+#: (``hessenberg``) and the per-lane operator product (``spmv``).  The other
+#: sites — ``precond`` (block apply has no lane-exact serial twin),
+#: ``givens``/``orth``/``subdiag``/``basis`` — peel to the serial engine.
+BATCHED_SITES = ("hessenberg", "spmv")
 
 
 def batched_support_reason(params: FTGMRESParameters, site: str = "hessenberg"
@@ -403,13 +413,16 @@ def batched_support_reason(params: FTGMRESParameters, site: str = "hessenberg"
     Returns ``None`` when the configuration is supported, otherwise a
     human-readable reason.  The supported space is the paper's experiment
     space: MGS orthogonalization inside and out, injection on the
-    ``hessenberg`` site, an inner detector that is either absent or the
-    paper's :class:`HessenbergBoundDetector` (any response except ``raise``),
-    and no outer detector.  Anything else belongs on the serial backend.
+    ``hessenberg`` and/or ``spmv`` sites, an inner detector that is either
+    absent or the paper's :class:`HessenbergBoundDetector` (any response
+    except ``raise``), and no outer detector.  Anything else belongs on the
+    serial backend.
     """
-    if site != "hessenberg":
+    sites = tuple(part.strip() for part in str(site).split(",") if part.strip())
+    bad = [name for name in sites if name not in BATCHED_SITES]
+    if bad or not sites:
         return (f"injection site {site!r} is not lockstep-vectorizable "
-                "(only 'hessenberg' is)")
+                f"(only {list(BATCHED_SITES)} are)")
     inner, outer = params.inner, params.outer
     if inner.orthogonalization != "mgs":
         return f"inner orthogonalization {inner.orthogonalization!r} (only 'mgs')"
@@ -908,16 +921,53 @@ class _BatchedNestedSolve:
                 return values
             return hook
 
-        spmv_hook = None
-        if detector is not None:
-            def spmv_hook(j, V, _alive=alive, _events=inner_events):
-                self._screen_spmv(V, _alive, _events, o, j)
+        def spmv_hook_factory(candidates: list[int]):
+            # Lane-exact spmv injection: each candidate lane's raw operator
+            # product (one contiguous row, computed by the exact serial
+            # kernel) is offered to its own injector with the exact serial
+            # context, *before* the detector screen — the same order as the
+            # serial hooked Arnoldi step.  Schedules on other sites simply
+            # decline, so consulting every candidate is safe.
+            if not candidates and detector is None:
+                return None
+
+            def spmv_hook(j: int, V: np.ndarray) -> None:
+                for pos in candidates:
+                    if not alive[pos]:
+                        continue
+                    lane_v = V[pos]
+                    corrupted = trials[pos].setup.injector.corrupt_vector(
+                        "spmv", lane_v,
+                        outer_iteration=o, inner_solve_index=o,
+                        inner_iteration=j,
+                        aggregate_inner_iteration=offset + j,
+                        mgs_index=-1, mgs_length=0)
+                    if corrupted is not lane_v and not np.array_equal(
+                            corrupted, lane_v, equal_nan=True):
+                        inner_events[pos].record(
+                            "fault_injected", where="spmv",
+                            outer_iteration=o, inner_iteration=j,
+                            aggregate_inner_iteration=offset + j)
+                        V[pos] = corrupted
+                        with np.errstate(**_ERRSTATE):
+                            peak = float(np.max(np.abs(corrupted)))
+                        if np.isfinite(peak) and peak > chaos_threshold:
+                            # Same chaos gate as huge injected coefficients:
+                            # the cancellation of a huge vector component
+                            # amplifies reduction-order noise past the
+                            # equivalence contract — peel to serial.
+                            chaotic[pos] = True
+                if detector is not None:
+                    self._screen_spmv(V, alive, inner_events, o, j)
+
+            return spmv_hook
 
         for j in range(m):
             candidates = always + by_iteration.get(j, [])
             hook = (hook_factory(j, candidates)
                     if candidates or detector is not None else None)
-            h_block = arnoldi.step(j, coefficient_hook=hook, spmv_hook=spmv_hook,
+            h_block = arnoldi.step(j, coefficient_hook=hook,
+                                   spmv_hook=spmv_hook_factory(candidates),
                                    active=alive)
             if H_arr is not None:
                 H_arr[: j + 2, j] = h_block

@@ -51,6 +51,7 @@ class FGMRESParameters:
     detector: Detector | str | None = None
     detector_response: str = "flag"
     bound_method: str = "frobenius"
+    injector: object | None = None
 
     def replace(self, **changes) -> "FGMRESParameters":
         """Return a copy with the given fields replaced."""
@@ -72,6 +73,7 @@ def fgmres(
     detector: Detector | str | None = None,
     detector_response: str = "flag",
     bound_method: str = "frobenius",
+    injector=None,
     events: EventLog | None = None,
     inner_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
 ) -> SolverResult:
@@ -116,6 +118,16 @@ def fgmres(
         Response policy for outer detections (same vocabulary as GMRES).
     bound_method : {"frobenius", "two_norm", "exact"}
         Norm used when ``detector`` is a spec that computes a bound from ``A``.
+    injector : FaultInjector, optional
+        Fault injector consulted at the outer iteration's named sites:
+        ``"spmv"`` (operator product), ``"hessenberg"`` (each
+        orthogonalization coefficient), ``"orth"`` (orthogonalized
+        un-normalized vector), ``"subdiag"`` (subdiagonal norm) and
+        ``"givens"`` (rotation coefficients).  The outer iteration here is
+        both the outer and the aggregate coordinate of the schedule context.
+        FT-GMRES deliberately does **not** pass its injector here — its outer
+        solver is the reliable phase — so this is for standalone FGMRES
+        fault studies.  ``None`` (the default) keeps the hook-free fast path.
     events : EventLog, EventSink, or callable, optional
         Event destination (any :class:`~repro.results.events.EventSink`
         streams the events as they are recorded).
@@ -142,6 +154,42 @@ def fgmres(
 
     events = EventLog.ensure(events)
     history = ConvergenceHistory()
+
+    # Outer-iteration injection helpers.  The outer iteration j doubles as
+    # the aggregate coordinate: a standalone FGMRES solve has no inner
+    # iterations, so schedules addressed in aggregate terms fire at outer
+    # step j.  Both helpers are None on the fault-free path, which performs
+    # the identical floating-point operations with no hook overhead.
+    _inj_scalar = _inj_vector = None
+    if injector is not None:
+        def _inj_scalar(site, value, j, mgs_index=-1, mgs_length=0):
+            corrupted = injector.corrupt_scalar(
+                site, value, outer_iteration=j, inner_solve_index=-1,
+                inner_iteration=j, aggregate_inner_iteration=j,
+                mgs_index=mgs_index, mgs_length=mgs_length,
+            )
+            if corrupted != value and not (np.isnan(corrupted) and np.isnan(value)):
+                events.record(
+                    "fault_injected", where=site, outer_iteration=j,
+                    inner_iteration=j, original=float(value),
+                    corrupted=float(corrupted), mgs_index=mgs_index,
+                    aggregate_inner_iteration=j,
+                )
+            return float(corrupted)
+
+        def _inj_vector(site, vec, j):
+            corrupted = injector.corrupt_vector(
+                site, vec, outer_iteration=j, inner_solve_index=-1,
+                inner_iteration=j, aggregate_inner_iteration=j,
+                mgs_index=-1, mgs_length=0,
+            )
+            if corrupted is not vec and not np.array_equal(corrupted, vec, equal_nan=True):
+                events.record(
+                    "fault_injected", where=site, outer_iteration=j,
+                    inner_iteration=j, aggregate_inner_iteration=j,
+                )
+                return corrupted
+            return vec
 
     norm_b = float(np.linalg.norm(b))
     target = tol * norm_b if norm_b > 0.0 else tol
@@ -188,16 +236,18 @@ def fgmres(
         # ----- reliable operator application and orthogonalization ---------
         v = op.matvec(z_j)
         matvecs += 1
+        if _inj_vector is not None:
+            v = _inj_vector("spmv", v, j)
         z_norm = float(np.linalg.norm(z_j))
         h_col = np.zeros(j + 2, dtype=np.float64)
-        # With no detector attached the per-coefficient screening calls are
+        # With no detector or injector attached the per-coefficient hooks are
         # pure overhead (they return the value unchanged), so the common
         # failure-free configuration skips them entirely — mirroring the
         # no-hook Arnoldi branch.  Both branches perform the identical
         # floating-point operations (asserted bit-for-bit in the tests).
         if orthogonalization == "mgs":
             w = v.copy()
-            if detector is None:
+            if detector is None and injector is None:
                 for i in range(j + 1):
                     h = float(np.dot(Q[:, i], w))
                     h_col[i] = h
@@ -205,6 +255,8 @@ def fgmres(
             else:
                 for i in range(j + 1):
                     h = float(np.dot(Q[:, i], w))
+                    if _inj_scalar is not None:
+                        h = _inj_scalar("hessenberg", h, j, mgs_index=i, mgs_length=j + 1)
                     h = _screen_outer(h, z_norm, detector, detector_response, events, j, i)
                     h_col[i] = h
                     w -= h * Q[:, i]
@@ -213,16 +265,29 @@ def fgmres(
             w = v.copy()
             for _ in range(passes):
                 coeffs = Q[:, : j + 1].T @ w
-                if detector is not None:
+                if detector is not None or injector is not None:
                     for i in range(j + 1):
-                        coeffs[i] = _screen_outer(float(coeffs[i]), z_norm, detector,
+                        h = float(coeffs[i])
+                        if _inj_scalar is not None:
+                            h = _inj_scalar("hessenberg", h, j, mgs_index=i, mgs_length=j + 1)
+                        coeffs[i] = _screen_outer(h, z_norm, detector,
                                                   detector_response, events, j, i)
                 w = w - Q[:, : j + 1] @ coeffs
                 h_col[: j + 1] += coeffs
 
+        if _inj_vector is not None:
+            w = _inj_vector("orth", w, j)
         h_sub = float(np.linalg.norm(w))
+        if _inj_scalar is not None:
+            h_sub = _inj_scalar("subdiag", h_sub, j, mgs_index=j + 1, mgs_length=j + 2)
         h_col[j + 1] = h_sub
-        resid_est = hess.add_column(h_col)
+        givens_hook = None
+        if _inj_scalar is not None:
+            def givens_hook(c, s, _j=j):
+                c = _inj_scalar("givens", c, _j, mgs_index=0, mgs_length=2)
+                s = _inj_scalar("givens", s, _j, mgs_index=1, mgs_length=2)
+                return c, s
+        resid_est = hess.add_column(h_col, givens_hook=givens_hook)
         k = j + 1
         history.append(resid_est)
 

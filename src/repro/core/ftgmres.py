@@ -176,6 +176,11 @@ def ft_gmres(
         detector=outer.detector,
         detector_response=outer.detector_response,
         bound_method=outer.bound_method,
+        # The nested solver's injector goes to the *inner* solves only; the
+        # outer iteration is the reliable phase.  An injector attached to the
+        # outer parameters themselves is an explicit opt-in to corrupt the
+        # (normally reliable) outer iteration.
+        injector=getattr(outer, "injector", None),
         events=events,
     )
 

@@ -190,22 +190,61 @@ def gmres(
     norm_b = float(np.linalg.norm(b))
     target = tol * norm_b if norm_b > 0.0 else tol
 
+    # The hooked paths consult the injector at the "precond" (preconditioned
+    # vector) and "givens" (rotation coefficients) sites with the live
+    # iteration context.  Both hooks are None on the fault-free fast path,
+    # which then performs the identical floating-point operations.
+    # Black-box wrappers (repro.faults.targets) are recognized and routed
+    # through the live context: their injectors then see real iteration
+    # coordinates instead of raw call counts (which non-Arnoldi matvecs —
+    # initial/true residuals — would silently shift).
+    mv_in_context = getattr(op, "matvec_in_context", None)
+    apply_in_context = getattr(preconditioner, "apply_in_context", None)
+    if apply_in_context is not None:
+        def apply_precond(q, _mi=apply_in_context, _ctx=ctx):
+            return _mi(q, _ctx.current_context())
+    precond_apply = apply_precond
+    if apply_precond is not None and injector is not None:
+        def precond_apply(q, _mi=apply_precond, _ctx=ctx):
+            z = np.asarray(_mi(q), dtype=np.float64)
+            return _ctx.inject_vector("precond", z, iteration=_ctx.current_iteration)
+    givens_hook = None
+    if injector is not None:
+        def givens_hook(c, s, _ctx=ctx):
+            it = _ctx.current_iteration
+            c = _ctx.inject_scalar("givens", c, iteration=it, mgs_index=0, mgs_length=2)
+            s = _ctx.inject_scalar("givens", s, iteration=it, mgs_index=1, mgs_length=2)
+            return c, s
+
+    if mv_in_context is not None:
+        # Arnoldi matvecs go through the wrapper with live coordinates;
+        # residual matvecs (host-side, reliable in the sandbox model) use
+        # the wrapped clean operator.
+        def base_matvec(q, _mv=mv_in_context, _ctx=ctx):
+            return _mv(q, _ctx.current_context())
+        residual_matvec = op.operator.matvec
+    else:
+        base_matvec = op.matvec
+        residual_matvec = op.matvec
+
     if profile is None:
-        if apply_precond is None:
+        if precond_apply is None and mv_in_context is None:
             operator_apply = None  # arnoldi_step will call op.matvec directly
+        elif precond_apply is None:
+            operator_apply = base_matvec
         else:
-            def operator_apply(q, _op=op, _mi=apply_precond):
-                return _op.matvec(_mi(q))
+            def operator_apply(q, _op=base_matvec, _mi=precond_apply):
+                return _op(_mi(q))
     else:
         # Timed closures pass values through unchanged (conforming float64
         # vectors survive arnoldi_step's asarray untouched), so profiling
         # never perturbs the arithmetic.
-        timed_matvec = profile.timed("spmv", op.matvec)
-        if apply_precond is None:
+        timed_matvec = profile.timed("spmv", base_matvec)
+        if precond_apply is None:
             operator_apply = timed_matvec
         else:
             def operator_apply(q, _op=timed_matvec,
-                               _mi=profile.timed("precond", apply_precond)):
+                               _mi=profile.timed("precond", precond_apply)):
                 return _op(_mi(q))
 
     total_iterations = 0
@@ -216,7 +255,7 @@ def gmres(
     mgs_scratch = np.empty(n, dtype=np.float64)
 
     # Initial residual (reliable).
-    r = b - op.matvec(x)
+    r = b - residual_matvec(x)
     ctx.matvecs += 1
     residual_norm = float(np.linalg.norm(r))
     history.append(residual_norm)
@@ -252,7 +291,7 @@ def gmres(
                 hooked = (profile.spmv_time + profile.precond_time) - hooked_before
                 profile.add("orth", _perf_counter() - step_start - hooked)
                 lsq_start = _perf_counter()
-            resid_est = hess.add_column(h_col)
+            resid_est = hess.add_column(h_col, givens_hook=givens_hook)
             if profile is not None:
                 profile.add("lsq", _perf_counter() - lsq_start)
             total_iterations += 1
@@ -286,7 +325,7 @@ def gmres(
 
         # True residual for the next cycle / convergence confirmation.
         with np.errstate(invalid="ignore", over="ignore"):
-            r = b - op.matvec(x)
+            r = b - residual_matvec(x)
         ctx.matvecs += 1
         residual_norm = float(np.linalg.norm(r))
 

@@ -57,7 +57,7 @@ class HessenbergMatrix:
         """Number of completed columns."""
         return self._qr.k
 
-    def add_column(self, column: np.ndarray) -> float:
+    def add_column(self, column: np.ndarray, givens_hook=None) -> float:
         """Append the ``k``-th Arnoldi column and update the QR factorization.
 
         Parameters
@@ -66,6 +66,11 @@ class HessenbergMatrix:
             The ``k+2`` values ``h_{1,k+1}, ..., h_{k+2,k+1}`` (i.e. the
             orthogonalization coefficients plus the subdiagonal norm) of the
             new column, where ``k`` is the current number of columns.
+        givens_hook : callable, optional
+            The ``"givens"`` injection site, forwarded to
+            :meth:`IncrementalGivensQR.add_column` (``hook(c, s) -> (c, s)``
+            on the new rotation).  ``None`` performs the identical
+            floating-point operations with no hook overhead.
 
         Returns
         -------
@@ -82,7 +87,7 @@ class HessenbergMatrix:
                 f"column {j} must have {j + 2} entries, got {column.shape[0]}"
             )
         self._H[: j + 2, j] = column
-        return self._qr.add_column(column)
+        return self._qr.add_column(column, givens_hook=givens_hook)
 
     #: Retained for backwards compatibility; the canonical implementation is
     #: :func:`repro.core.least_squares.givens_rotation`.

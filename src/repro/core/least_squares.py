@@ -136,7 +136,7 @@ class IncrementalGivensQR:
         return abs(float(self._g[self.k]))
 
     # ------------------------------------------------------------------ #
-    def add_column(self, column) -> float:
+    def add_column(self, column, givens_hook=None) -> float:
         """Rotate a new Hessenberg column into the factorization.
 
         Parameters
@@ -144,6 +144,13 @@ class IncrementalGivensQR:
         column : array_like
             The ``k+2`` entries of column ``k`` (orthogonalization
             coefficients plus the subdiagonal norm).
+        givens_hook : callable, optional
+            The ``"givens"`` injection site: called as ``hook(c, s)`` with
+            the freshly computed rotation coefficients and must return the
+            (possibly corrupted) pair that is then stored, applied to the
+            column, and applied to the right-hand side.  ``None`` (the
+            default) skips the hook entirely — the fault-free fast path
+            performs the identical floating-point operations.
 
         Returns
         -------
@@ -167,6 +174,14 @@ class IncrementalGivensQR:
 
         # Compute and apply the new rotation that zeroes r[j+1].
         c, s = givens_rotation(r[j], r[j + 1])
+        if givens_hook is not None:
+            # A corrupted rotation poisons the triangular factor AND the
+            # rotated right-hand side — exactly how a faulty rotation update
+            # propagates in the real algorithm (it no longer zeroes r[j+1]
+            # exactly, but the factorization stores 0 there regardless, which
+            # is the silent part of the corruption).
+            c, s = givens_hook(float(c), float(s))
+            c, s = float(c), float(s)
         cs[j], sn[j] = c, s
         r[j] = c * r[j] + s * r[j + 1]
         r[j + 1] = 0.0

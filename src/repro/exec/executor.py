@@ -171,9 +171,14 @@ def _process_init(config: CampaignConfig) -> None:
 
 
 def _process_chunk(chunk: list[TrialSpec]) -> list[tuple[int, object]]:
-    """Run one chunk of trials against the worker-local campaign."""
+    """Run one chunk of trials against the worker-local campaign.
+
+    Crash isolation (``run_spec_safe``): a trial whose solve raises comes
+    back as a ``status="error"`` record instead of poisoning the future and
+    killing every other trial in the chunk (and, transitively, the run).
+    """
     campaign = _PROCESS_CAMPAIGN
-    return [(spec.index, campaign.run_spec(spec)) for spec in chunk]
+    return [(spec.index, campaign.run_spec_safe(spec)) for spec in chunk]
 
 
 def _thread_init(config: CampaignConfig) -> None:
@@ -187,7 +192,7 @@ def _thread_init(config: CampaignConfig) -> None:
 
 def _thread_chunk(chunk: list[TrialSpec]) -> list[tuple[int, object]]:
     campaign = _THREAD_STATE.campaign
-    return [(spec.index, campaign.run_spec(spec)) for spec in chunk]
+    return [(spec.index, campaign.run_spec_safe(spec)) for spec in chunk]
 
 
 # ---------------------------------------------------------------------- #
@@ -313,7 +318,7 @@ class CampaignExecutor:
         elif self.backend == "serial" or self.workers <= 1 or total == 1:
             campaign = self._campaign()
             for spec in specs:
-                yield spec.index, campaign.run_spec(spec)
+                yield spec.index, campaign.run_spec_safe(spec)
         else:
             yield from self._iter_pool(specs)
 

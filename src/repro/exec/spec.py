@@ -94,6 +94,9 @@ class CampaignConfig:
     inner_params: object | None = None
     outer_params: object | None = None
     kernels: str | None = None
+    fault_rate: int | None = None
+    fault_persistence: str | None = None
+    trial_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if (self.problem is None) == (self.problem_factory is None):
@@ -135,4 +138,7 @@ class CampaignConfig:
             inner_params=copy.deepcopy(self.inner_params),
             outer_params=copy.deepcopy(self.outer_params),
             kernels=self.kernels,
+            fault_rate=self.fault_rate,
+            fault_persistence=self.fault_persistence,
+            trial_timeout=self.trial_timeout,
         )

@@ -117,6 +117,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--inner-iterations", type=int, default=None,
                         help="inner GMRES iterations per outer iteration "
                              "(default 25)")
+    parser.add_argument("--site", default=None,
+                        help="injection site(s) for the sweeps: one of "
+                             "hessenberg/subdiag/spmv/precond/givens/orth/"
+                             "basis, '*', or a comma-separated list like "
+                             "'spmv,precond,givens' (default hessenberg)")
+    parser.add_argument("--fault-rate", type=int, default=None, dest="fault_rate",
+                        help="switch every trial from the paper's single "
+                             "injection to a rate schedule firing N faults "
+                             "per nested solve, anchored at the trial's "
+                             "sweep location")
+    parser.add_argument("--trial-timeout", type=float, default=None,
+                        dest="trial_timeout", metavar="SECONDS",
+                        help="per-trial soft time budget: a trial exceeding "
+                             "it is quarantined as an error record (re-run "
+                             "by --resume) instead of poisoning the sweep")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel workers for the sweeps (default: REPRO_WORKERS "
                              "or 1; 0 = one per CPU)")
@@ -198,6 +213,12 @@ def build_campaign_spec(args, *, problem_key: str = "poisson") -> CampaignSpec:
         flag_overrides["detector"] = args.detector
     if args.inner_iterations is not None:
         flag_overrides["inner_iterations"] = args.inner_iterations
+    if args.site is not None:
+        flag_overrides["site"] = args.site
+    if args.fault_rate is not None:
+        flag_overrides["fault_rate"] = args.fault_rate
+    if args.trial_timeout is not None:
+        flag_overrides["exec.trial_timeout"] = args.trial_timeout
     if args.backend is not None:
         flag_overrides["exec.backend"] = args.backend
     if args.workers is not None:

@@ -31,9 +31,17 @@ from repro.faults.models import (
     NaNFault,
     InfFault,
     BitFlipFault,
+    MultiBitFault,
+    BurstFault,
+    StuckAtFault,
     PAPER_FAULT_CLASSES,
 )
-from repro.faults.schedule import InjectionSchedule, Persistence
+from repro.faults.schedule import (
+    KNOWN_SITES,
+    FaultRateSchedule,
+    InjectionSchedule,
+    Persistence,
+)
 from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.sandbox import Sandbox, reliable_region
 from repro.faults.targets import FaultyOperator, FaultyPreconditioner
@@ -56,8 +64,13 @@ __all__ = [
     "NaNFault",
     "InfFault",
     "BitFlipFault",
+    "MultiBitFault",
+    "BurstFault",
+    "StuckAtFault",
     "PAPER_FAULT_CLASSES",
+    "KNOWN_SITES",
     "InjectionSchedule",
+    "FaultRateSchedule",
     "Persistence",
     "FaultInjector",
     "NullInjector",

@@ -77,10 +77,21 @@ class TrialRecord:
     #: Wall-clock seconds for this trial (batched lanes: their amortized
     #: share of the batch, see :meth:`FaultCampaign.iter_specs_batched`).
     elapsed: float = field(default=0.0, compare=False)
+    #: Crash isolation: when a trial's solve raised (or blew its soft
+    #: timeout), ``status`` is ``"error"`` and this carries the message.
+    #: ``compare=False``: an error record never equals a real measurement
+    #: anyway (the payload fields are sentinels), and traceback text may
+    #: differ across interpreters.
+    error: str | None = field(default=None, compare=False)
     #: Provenance stamps (``None`` until stamped by the campaign layer).
     repro_version: str | None = field(default=None, compare=False)
     seed: int | None = field(default=None, compare=False)
     spec_hash: str | None = field(default=None, compare=False)
+
+    @property
+    def is_error(self) -> bool:
+        """True if this records a crashed/timed-out trial, not a measurement."""
+        return self.status == "error"
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the common result schema, ``kind="trial"``).
@@ -91,7 +102,7 @@ class TrialRecord:
         from dataclasses import asdict
 
         out = {"kind": "trial", **asdict(self)}
-        for key in ("repro_version", "seed", "spec_hash"):
+        for key in ("error", "repro_version", "seed", "spec_hash"):
             if out[key] is None:
                 del out[key]
         return out
@@ -288,7 +299,21 @@ class FaultCampaign:
     inner_params, outer_params : optional
         Overrides for the nested-solver configuration.
     site : str
-        Injection site (default ``"hessenberg"``).
+        Injection site (default ``"hessenberg"``); a comma-separated list
+        (``"spmv,precond"``) or ``"*"`` targets several sites at once.
+    fault_rate : int or None
+        ``None`` (default) reproduces the paper's single-SDC-per-solve
+        methodology.  An integer N switches every trial to a
+        :class:`~repro.faults.schedule.FaultRateSchedule`: up to N faults
+        per nested solve, fired at the trial's injection location of
+        consecutive inner solves (cadence = ``inner_iterations``).
+    fault_persistence : str or None
+        Persistence of each scheduled fault (``"transient"`` — the default —
+        ``"sticky"``, or ``"persistent"``), tracked per site.
+    trial_timeout : float or None
+        Soft per-trial wall-clock budget in seconds.  A trial that finishes
+        over budget is quarantined as a ``status="error"`` record instead of
+        being reported as a measurement (``None`` disables the check).
     kernels : str or None
         Sparse kernel tier for every trial's hot kernels (``"numpy"``/
         ``"scipy"``/``"numba"``/``"auto"``); ``None`` defers to the
@@ -311,6 +336,9 @@ class FaultCampaign:
         inner_params: GMRESParameters | None = None,
         outer_params: FGMRESParameters | None = None,
         site: str | None = None,
+        fault_rate: int | None = None,
+        fault_persistence: str | None = None,
+        trial_timeout: float | None = None,
         kernels: str | None = None,
     ):
         from repro.sparse.kernels import effective_kernels
@@ -333,6 +361,14 @@ class FaultCampaign:
             raise ValueError(f"mgs_position must be 'first' or 'last', got {mgs_position!r}")
         self.mgs_position = mgs_position
         self.site = site if site is not None else _DEFAULTS.site
+        if fault_rate is not None and int(fault_rate) < 1:
+            raise ValueError(f"fault_rate must be positive, got {fault_rate}")
+        self.fault_rate = int(fault_rate) if fault_rate is not None else None
+        self.fault_persistence = str(fault_persistence if fault_persistence is not None
+                                     else _DEFAULTS.fault_persistence)
+        if trial_timeout is not None and float(trial_timeout) <= 0:
+            raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
+        self.trial_timeout = float(trial_timeout) if trial_timeout is not None else None
         self.detector_response = (detector_response if detector_response is not None
                                   else _DEFAULTS.detector_response)
         # Keep the constructor *specifications* so worker processes can
@@ -434,6 +470,9 @@ class FaultCampaign:
             inner_params=inner_params,
             outer_params=outer_params,
             site=spec.site,
+            fault_rate=spec.fault_rate,
+            fault_persistence=spec.fault_persistence,
+            trial_timeout=spec.exec.trial_timeout,
             kernels=spec.exec.kernels,
         )
         from repro.results.store import campaign_fingerprint
@@ -446,17 +485,48 @@ class FaultCampaign:
         return ft_gmres(self.problem.A, self.problem.b, self.problem.x0, params=self.params)
 
     def _trial_schedule(self, aggregate_inner_iteration: int) -> InjectionSchedule:
-        """The single-transient-SDC schedule of one campaign trial.
+        """The injection schedule of one campaign trial.
 
         Shared by the serial and the batched execution paths so both inject
-        under exactly the same schedule.
+        under exactly the same schedule.  Without a ``fault_rate`` this is
+        the paper's single-SDC schedule anchored at the trial's aggregate
+        location; with one, a :class:`FaultRateSchedule` fires at that
+        location of consecutive inner solves until the budget is spent.
         """
+        from repro.faults.schedule import FaultRateSchedule
+
+        if self.fault_rate is not None:
+            return FaultRateSchedule(
+                site=self.site,
+                mgs_position=self.mgs_position,
+                persistence=self.fault_persistence,
+                faults_per_solve=self.fault_rate,
+                start=int(aggregate_inner_iteration),
+                interval=max(self.inner_iterations, 1),
+            )
         return InjectionSchedule(
             site=self.site,
             aggregate_inner_iteration=int(aggregate_inner_iteration),
             mgs_position=self.mgs_position,
-            persistence="transient",
+            persistence=self.fault_persistence,
         )
+
+    def _trial_injector(self, model: FaultModel,
+                        aggregate_inner_iteration: int) -> FaultInjector:
+        """The trial's injector, with *deterministic* per-trial randomness.
+
+        Vector-site corruption (``spmv``/``precond``/``orth``/``basis``)
+        picks the corrupted element from the injector's rng.  Seeding that
+        rng from the campaign seed and the trial's sweep location makes
+        vector-site campaigns trial-identical across the serial, thread,
+        process, and batched backends — and across reruns, which is what the
+        store's resume contract requires.
+        """
+        seed = self.provenance.get("seed")
+        entropy = (0 if seed is None else int(seed) & 0xFFFFFFFF,
+                   int(aggregate_inner_iteration))
+        return FaultInjector(model, self._trial_schedule(aggregate_inner_iteration),
+                             rng=np.random.default_rng(entropy))
 
     def run_single(self, fault_class: str, model: FaultModel,
                    aggregate_inner_iteration: int) -> TrialRecord:
@@ -466,8 +536,7 @@ class FaultCampaign:
         pool backends — so ``TrialRecord.elapsed`` means the same thing on
         every backend.
         """
-        schedule = self._trial_schedule(aggregate_inner_iteration)
-        injector = FaultInjector(model, schedule)
+        injector = self._trial_injector(model, aggregate_inner_iteration)
         timer = Timer()
         with timer:
             result = ft_gmres(self.problem.A, self.problem.b, self.problem.x0,
@@ -492,6 +561,63 @@ class FaultCampaign:
         """Run the trial described by a :class:`~repro.exec.spec.TrialSpec`."""
         return self.run_single(spec.fault_class, self._model_for(spec.fault_class),
                                spec.aggregate_inner_iteration)
+
+    def _error_record(self, spec, message: str, elapsed: float) -> TrialRecord:
+        """A ``status="error"`` record for a crashed or quarantined trial.
+
+        The payload fields are sentinels (``-1`` iterations, NaN residual):
+        an error record marks a casualty to be re-run, not a measurement —
+        the run store's resume logic treats its index as missing.
+        """
+        model = self.fault_classes.get(spec.fault_class)
+        return TrialRecord(
+            fault_class=spec.fault_class,
+            fault_description=(model.describe() if model is not None
+                               else spec.fault_class),
+            aggregate_inner_iteration=int(spec.aggregate_inner_iteration),
+            mgs_position=self.mgs_position,
+            outer_iterations=-1,
+            total_inner_iterations=-1,
+            converged=False,
+            status="error",
+            residual_norm=float("nan"),
+            faults_injected=0,
+            faults_detected=0,
+            detector_enabled=self.detector is not None,
+            elapsed=float(elapsed),
+            error=str(message),
+        )
+
+    def run_spec_safe(self, spec) -> TrialRecord:
+        """Run one trial with crash isolation and the soft timeout.
+
+        A trial whose solve raises — a ``raise``-response detector, a fault
+        model that explodes, a kernel bug — becomes a ``status="error"``
+        record instead of killing the whole campaign (and, on the pool
+        backends, every other trial sharing its worker).  A trial that
+        finishes but blew the campaign's ``trial_timeout`` is quarantined
+        the same way.  The execution backends all route through here, so
+        error semantics are backend-independent.
+        """
+        timer = Timer()
+        try:
+            with timer:
+                record = self.run_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - the whole point is isolation
+            return self._error_record(
+                spec, f"{type(exc).__name__}: {exc}", timer.elapsed)
+        if self.trial_timeout is not None and record.elapsed > self.trial_timeout:
+            return dataclasses.replace(
+                record,
+                outer_iterations=-1,
+                total_inner_iterations=-1,
+                converged=False,
+                status="error",
+                residual_norm=float("nan"),
+                error=(f"soft timeout: trial took {record.elapsed:.3f}s "
+                       f"(budget {self.trial_timeout:.3f}s)"),
+            )
+        return record
 
     def _model_for(self, fault_class: str) -> FaultModel:
         try:
@@ -537,7 +663,6 @@ class FaultCampaign:
         construction); peeled trials report their true serial time.
         """
         from repro.core.batched import BatchedTrialSetup, batched_ft_gmres
-        from repro.faults.injector import FaultInjector
 
         reason = self.batched_unsupported_reason()
         if reason is not None:
@@ -563,22 +688,28 @@ class FaultCampaign:
             setups = []
             for spec in chunk:
                 model = self._model_for(spec.fault_class)
-                schedule = self._trial_schedule(spec.aggregate_inner_iteration)
+                injector = self._trial_injector(model, spec.aggregate_inner_iteration)
                 setups.append(BatchedTrialSetup(
-                    injector=FaultInjector(model, schedule),
-                    hessenberg_target=schedule.aggregate_inner_iteration,
+                    injector=injector,
+                    hessenberg_target=injector.schedule.aggregate_inner_iteration,
                 ))
             timer = Timer()
-            with timer:
-                results = batched_ft_gmres(self.problem.A, self.problem.b,
-                                           self.problem.x0, self.params, setups)
+            try:
+                with timer:
+                    results = batched_ft_gmres(self.problem.A, self.problem.b,
+                                               self.problem.x0, self.params, setups)
+            except Exception:
+                # A crash in the shared block kernels cannot be attributed to
+                # one lane; peel the whole batch to the serial path, where
+                # run_spec_safe isolates the actual casualty per trial.
+                results = [None] * len(chunk)
             lane_elapsed = timer.elapsed / len(chunk)
             for spec, setup, result in zip(chunk, setups, results):
                 if result is None:
                     # Off the lockstep common path: the serial reference
                     # engine is the fallback, so rare paths never rely on
                     # the batched reproduction of them.
-                    record = self.run_spec(spec)
+                    record = self.run_spec_safe(spec)
                 else:
                     model = self._model_for(spec.fault_class)
                     record = TrialRecord(
@@ -647,6 +778,9 @@ class FaultCampaign:
             inner_params=self._inner_params_spec,
             outer_params=self._outer_params_spec,
             kernels=self.kernels,
+            fault_rate=self.fault_rate,
+            fault_persistence=self.fault_persistence,
+            trial_timeout=self.trial_timeout,
         )
 
     def trial_specs(self, locations) -> list:

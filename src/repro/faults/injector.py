@@ -81,8 +81,16 @@ class FaultInjector:
         self._rng = as_generator(rng)
         self.records: list[InjectionRecord] = []
         self._eligible_calls_seen = 0
-        self._sticky_started = False
-        self._sticky_remaining = 0
+        # Persistence windows are tracked per site, so a sticky fault at one
+        # site (say spmv) never consumes the window of another (precond) —
+        # the "per-site persistence" contract of rate schedules.  Single-site
+        # schedules see exactly the historical single-window behavior.
+        self._sticky_started: set[str] = set()
+        self._sticky_remaining: dict[str, int] = {}
+        # Rate schedules mark transient faults as "once per scheduled point
+        # per site"; this records the (site, aggregate iteration) points that
+        # have already fired.
+        self._fired_points: set[tuple[str, int]] = set()
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -95,8 +103,9 @@ class FaultInjector:
         """Forget all prior corruptions so the injector can be reused."""
         self.records.clear()
         self._eligible_calls_seen = 0
-        self._sticky_started = False
-        self._sticky_remaining = 0
+        self._sticky_started.clear()
+        self._sticky_remaining.clear()
+        self._fired_points.clear()
 
     @property
     def injections_performed(self) -> int:
@@ -120,20 +129,25 @@ class FaultInjector:
             # cap always wins.
             return False
         if persistence is Persistence.TRANSIENT:
+            if getattr(self.schedule, "transient_per_point", False):
+                point = (site, int(context.get("aggregate_inner_iteration", -1)))
+                return point not in self._fired_points
             return self.injections_performed < 1
         if persistence is Persistence.STICKY:
-            if not self._sticky_started:
-                self._sticky_started = True
-                self._sticky_remaining = self.schedule.sticky_count
-            if self._sticky_remaining <= 0:
+            if site not in self._sticky_started:
+                self._sticky_started.add(site)
+                self._sticky_remaining[site] = self.schedule.sticky_count
+            if self._sticky_remaining[site] <= 0:
                 return False
             return True
         return True  # PERSISTENT
 
     def _record(self, site: str, original: float, corrupted: float, context: dict,
                 vector_index: int = -1) -> None:
-        if self.schedule.persistence is Persistence.STICKY and self._sticky_remaining > 0:
-            self._sticky_remaining -= 1
+        if (self.schedule.persistence is Persistence.STICKY
+                and self._sticky_remaining.get(site, 0) > 0):
+            self._sticky_remaining[site] -= 1
+        self._fired_points.add((site, int(context.get("aggregate_inner_iteration", -1))))
         self.records.append(
             InjectionRecord(
                 site=site,

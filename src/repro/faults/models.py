@@ -29,6 +29,9 @@ __all__ = [
     "NaNFault",
     "InfFault",
     "BitFlipFault",
+    "MultiBitFault",
+    "BurstFault",
+    "StuckAtFault",
     "PAPER_FAULT_CLASSES",
 ]
 
@@ -75,14 +78,16 @@ class FaultModel:
         """One-line human-readable description (used in reports)."""
         return self.name
 
-    def to_spec(self):
-        """The registry spec (string or dict) that rebuilds this model.
+    def to_spec(self) -> dict:
+        """The registry spec (dict) that rebuilds this model.
 
         Used by :mod:`repro.specs` to serialize campaign configurations that
-        carry built fault-model instances.  Subclasses with constructor
-        arguments override this; argument-free ones serialize as their name.
+        carry built fault-model instances.  Every model serializes to a dict
+        with a ``"name"`` key (uniform shape, so spec consumers never need a
+        string-vs-dict case split); subclasses with constructor arguments
+        add their argument fields.
         """
-        return self.name
+        return {"name": self.name}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -165,8 +170,8 @@ class ZeroFault(AbsoluteFault):
     def describe(self) -> str:
         return "h := 0"
 
-    def to_spec(self) -> str:
-        return "zero"
+    def to_spec(self) -> dict:
+        return {"name": "zero"}
 
 
 class NaNFault(AbsoluteFault):
@@ -180,8 +185,8 @@ class NaNFault(AbsoluteFault):
     def describe(self) -> str:
         return "h := NaN"
 
-    def to_spec(self) -> str:
-        return "nan"
+    def to_spec(self) -> dict:
+        return {"name": "nan"}
 
 
 class InfFault(AbsoluteFault):
@@ -195,8 +200,8 @@ class InfFault(AbsoluteFault):
     def describe(self) -> str:
         return "h := Inf"
 
-    def to_spec(self) -> str:
-        return "inf"
+    def to_spec(self) -> dict:
+        return {"name": "inf"}
 
 
 class BitFlipFault(FaultModel):
@@ -243,6 +248,154 @@ class BitFlipFault(FaultModel):
         if self.bits is not None:
             spec["bits"] = list(self.bits)
         return spec
+
+
+class MultiBitFault(FaultModel):
+    """Flip several bits of the IEEE-754 representation at once.
+
+    Models a multi-bit upset (e.g. a charged particle clipping adjacent
+    cells of a register).  Deterministic when explicit ``bits`` are given;
+    otherwise ``num_bits`` distinct random positions are drawn per
+    corruption.
+
+    Parameters
+    ----------
+    num_bits : int
+        How many distinct bits to flip when ``bits`` is omitted.
+    bits : sequence of int, optional
+        Explicit bit positions to flip (makes the model deterministic —
+        what the cross-backend identity tests require).
+    rng : seed or Generator, optional
+        Randomness source for random bit selection.
+    """
+
+    name = "multibit"
+
+    def __init__(self, num_bits: int = 2, bits=None, rng=None):
+        num_bits = int(num_bits)
+        if bits is not None:
+            bits = tuple(int(b) for b in bits)
+            if len(set(bits)) != len(bits):
+                raise ValueError(f"bits must be distinct, got {bits}")
+            for b in bits:
+                if not 0 <= b <= 63:
+                    raise ValueError(f"bit must be in [0, 63], got {b}")
+        elif not 1 <= num_bits <= 64:
+            raise ValueError(f"num_bits must be in [1, 64], got {num_bits}")
+        self.num_bits = num_bits
+        self.bits = bits
+        self._rng = as_generator(rng)
+        self.last_bits: tuple[int, ...] | None = None
+
+    def corrupt(self, value: float) -> float:
+        if self.bits is not None:
+            chosen = self.bits
+        else:
+            chosen = tuple(int(b) for b in
+                           self._rng.choice(64, size=self.num_bits, replace=False))
+        out = float(value)
+        for bit in chosen:
+            out = flip_bit(out, bit)
+        self.last_bits = chosen
+        return out
+
+    def describe(self) -> str:
+        if self.bits is not None:
+            return f"multi-bit flip (bits={list(self.bits)})"
+        return f"multi-bit flip ({self.num_bits} random bits)"
+
+    def to_spec(self) -> dict:
+        spec = {"name": "multibit", "num_bits": self.num_bits}
+        if self.bits is not None:
+            spec["bits"] = list(self.bits)
+        return spec
+
+
+class BurstFault(FaultModel):
+    """Flip a contiguous run of bits (a burst error).
+
+    Deterministic: flips bits ``start_bit .. start_bit + width - 1`` of the
+    IEEE-754 representation.  A burst across the exponent boundary is the
+    classic "datapath glitch" that single-bit models understate.
+
+    Parameters
+    ----------
+    start_bit : int
+        Lowest bit position of the burst (0 = LSB of the mantissa).
+    width : int
+        Number of consecutive bits flipped (clipped at bit 63).
+    """
+
+    name = "burst"
+
+    def __init__(self, start_bit: int = 48, width: int = 4):
+        start_bit, width = int(start_bit), int(width)
+        if not 0 <= start_bit <= 63:
+            raise ValueError(f"start_bit must be in [0, 63], got {start_bit}")
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        self.start_bit = start_bit
+        self.width = width
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """The bit positions the burst flips."""
+        return tuple(range(self.start_bit, min(self.start_bit + self.width, 64)))
+
+    def corrupt(self, value: float) -> float:
+        out = float(value)
+        for bit in self.bits:
+            out = flip_bit(out, bit)
+        return out
+
+    def describe(self) -> str:
+        return f"burst flip (bits {self.start_bit}..{self.bits[-1]})"
+
+    def to_spec(self) -> dict:
+        return {"name": "burst", "start_bit": self.start_bit, "width": self.width}
+
+
+class StuckAtFault(FaultModel):
+    """Force one bit of the IEEE-754 representation to a fixed level.
+
+    The canonical *permanent* hardware fault: a stuck-at-1 exponent bit turns
+    most values huge, a stuck-at-0 sign bit erases negativity.  Unlike a
+    flip, corrupting an already-conforming value is a no-op — paired with a
+    persistent schedule this reproduces genuine stuck-hardware behavior.
+
+    Parameters
+    ----------
+    bit : int
+        Bit position in ``[0, 63]``.
+    value : int
+        The stuck level, 0 or 1 (default 1).
+    """
+
+    name = "stuck_at"
+
+    def __init__(self, bit: int = 62, value: int = 1):
+        bit, value = int(bit), int(value)
+        if not 0 <= bit <= 63:
+            raise ValueError(f"bit must be in [0, 63], got {bit}")
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0 or 1, got {value}")
+        self.bit = bit
+        self.value = value
+
+    def corrupt(self, value: float) -> float:
+        as_int = np.float64(value).view(np.uint64)
+        mask = np.uint64(1 << self.bit)
+        if self.value:
+            as_int = as_int | mask
+        else:
+            as_int = as_int & ~mask
+        return float(as_int.view(np.float64))
+
+    def describe(self) -> str:
+        return f"stuck-at-{self.value} (bit {self.bit})"
+
+    def to_spec(self) -> dict:
+        return {"name": "stuck_at", "bit": self.bit, "value": self.value}
 
 
 #: The paper's three corruption classes (Section VII-B-1), keyed by the label

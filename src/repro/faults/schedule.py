@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-__all__ = ["Persistence", "InjectionSchedule"]
+__all__ = ["Persistence", "InjectionSchedule", "FaultRateSchedule", "KNOWN_SITES"]
+
+#: Every injection site the solvers consult (see repro.core.arnoldi's site
+#: table).  Schedules validate their ``site`` field against this set so a
+#: typo'd site fails loudly instead of silently never firing.
+KNOWN_SITES = ("hessenberg", "subdiag", "spmv", "precond", "givens", "orth", "basis")
 
 
 class Persistence(Enum):
@@ -46,7 +51,9 @@ class InjectionSchedule:
     ----------
     site : str
         Injection site name (``"hessenberg"``, ``"subdiag"``, ``"spmv"``,
-        ``"basis"``, ``"precond"``); ``"*"`` matches any site.
+        ``"basis"``, ``"precond"``, ``"givens"``, ``"orth"``); ``"*"``
+        matches any site, and a comma-separated list (``"spmv,precond"``)
+        matches any of the named sites.
     aggregate_inner_iteration : int or None
         Fire only when the aggregate inner-iteration counter (the x-axis of
         Figures 3 and 4: ``inner_solve_index * inner_iterations + local
@@ -78,8 +85,22 @@ class InjectionSchedule:
     sticky_count: int = 3
     max_injections: int | None = None
 
+    #: Rate schedules override this: a transient fault then means "once per
+    #: scheduled point per site" rather than "once per solve".
+    transient_per_point = False
+
     def __post_init__(self) -> None:
         self.persistence = Persistence.coerce(self.persistence)
+        self._sites = tuple(part.strip() for part in str(self.site).split(",")
+                            if part.strip())
+        if not self._sites:
+            raise ValueError(f"site must name at least one site, got {self.site!r}")
+        for name in self._sites:
+            if name != "*" and name not in KNOWN_SITES:
+                raise ValueError(
+                    f"unknown injection site {name!r}; expected one of "
+                    f"{list(KNOWN_SITES)} or '*'"
+                )
         if isinstance(self.mgs_position, str) and self.mgs_position not in ("first", "last"):
             raise ValueError(
                 f"mgs_position must be 'first', 'last', an integer, or None, "
@@ -93,7 +114,7 @@ class InjectionSchedule:
     # ------------------------------------------------------------------ #
     def matches_site(self, site: str) -> bool:
         """True if the schedule targets the given site."""
-        return self.site == "*" or self.site == site
+        return "*" in self._sites or site in self._sites
 
     def matches(self, site: str, *, outer_iteration: int = -1, inner_solve_index: int = -1,
                 inner_iteration: int = -1, aggregate_inner_iteration: int = -1,
@@ -134,3 +155,75 @@ class InjectionSchedule:
             parts.append(f"mgs={self.mgs_position}")
         parts.append(f"persistence={self.persistence.value}")
         return ", ".join(parts)
+
+
+@dataclass
+class FaultRateSchedule(InjectionSchedule):
+    """A rate-based schedule: up to N faults per solve at a fixed cadence.
+
+    The paper's experiments inject exactly one transient fault per nested
+    solve; a rate schedule generalizes that to ``faults_per_solve`` faults,
+    fired at aggregate inner iterations ``start``, ``start + interval``,
+    ``start + 2*interval``, ... until the per-solve budget is spent.  The
+    cadence is deterministic, so rate campaigns stay trial-identical across
+    execution backends.
+
+    Persistence applies *per scheduled point, per site*: a transient rate
+    fault corrupts each scheduled (site, iteration) point once; a sticky
+    one corrupts ``sticky_count`` eligible calls from each point's first
+    firing, tracked separately for every site (per-site persistence — a
+    stuck spmv lane does not consume a precond fault's window).
+
+    Attributes
+    ----------
+    faults_per_solve : int
+        Total injection budget for one nested solve (the "rate").
+    start : int
+        Aggregate inner iteration of the first fault.
+    interval : int
+        Gap, in aggregate inner iterations, between consecutive faults.
+    """
+
+    faults_per_solve: int = 1
+    start: int = 0
+    interval: int = 1
+
+    transient_per_point = True
+
+    def __post_init__(self) -> None:
+        # Remember the caller's explicit cap before the transient clamp in
+        # the parent initializer can collapse it to 1.
+        explicit_cap = self.max_injections
+        super().__post_init__()
+        if self.faults_per_solve < 1:
+            raise ValueError(
+                f"faults_per_solve must be positive, got {self.faults_per_solve}")
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if self.interval < 1:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        # The rate IS the cap: the budget bounds total corruptions no matter
+        # the persistence; an explicit tighter cap still wins.
+        cap = self.faults_per_solve
+        if explicit_cap is not None:
+            cap = min(cap, explicit_cap)
+        self.max_injections = cap
+
+    def matches(self, site: str, *, aggregate_inner_iteration: int = -1,
+                **context) -> bool:
+        """Eligible only at the scheduled cadence points."""
+        if aggregate_inner_iteration < self.start:
+            return False
+        if (aggregate_inner_iteration - self.start) % self.interval != 0:
+            return False
+        # The cadence is the location anchor; the base class keeps the
+        # site/outer/inner/MGS predicates (its own aggregate anchor stays
+        # None unless a caller narrows the cadence to one point on purpose).
+        return super().matches(site,
+                               aggregate_inner_iteration=aggregate_inner_iteration,
+                               **context)
+
+    def describe(self) -> str:
+        base = super().describe()
+        return (f"{base}, rate={self.faults_per_solve}/solve "
+                f"(start={self.start}, every {self.interval})")

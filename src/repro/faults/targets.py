@@ -13,6 +13,16 @@ compared against the paper's white-box (Hessenberg-coefficient) injection:
 Both keep their own invocation counters so schedules expressed in "aggregate
 inner iteration" terms work even outside a solver (each matvec counts as one
 iteration).
+
+Inside a solver, raw call counts are the *wrong* coordinates — a GMRES cycle
+performs extra matvecs (initial and true residuals) that would silently shift
+aggregate-iteration schedules.  The solvers therefore recognize these
+wrappers and call :meth:`FaultyOperator.matvec_in_context` /
+:meth:`FaultyPreconditioner.apply_in_context` with their live
+:meth:`~repro.core.arnoldi.ArnoldiContext.current_context`, so schedules see
+the same coordinates as the native white-box sites.  The plain
+``matvec``/``apply`` entry points keep the historical call-count behavior
+bit for bit (standalone black-box studies are unchanged).
 """
 
 from __future__ import annotations
@@ -44,6 +54,17 @@ class FaultyOperator(LinearOperator):
         self.injector = injector
         self.calls = 0
 
+    @property
+    def operator(self):
+        """The wrapped (fault-free) operator.
+
+        Solvers that recognize this wrapper compute their *reliable*
+        residuals through it — the sandbox model keeps host-side arithmetic
+        clean — while Arnoldi matvecs go through
+        :meth:`matvec_in_context`.
+        """
+        return self._op
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         y = self._op.matvec(x)
         result = self.injector.corrupt_vector(
@@ -52,6 +73,19 @@ class FaultyOperator(LinearOperator):
             inner_iteration=self.calls, aggregate_inner_iteration=self.calls,
             mgs_index=-1, mgs_length=0,
         )
+        self.calls += 1
+        return result
+
+    def matvec_in_context(self, x: np.ndarray, context: dict) -> np.ndarray:
+        """``matvec`` with solver-supplied injection context.
+
+        Called by the solvers with their live iteration coordinates so
+        aggregate-iteration schedules fire where they would at the native
+        ``spmv`` site, instead of being shifted by non-Arnoldi matvecs
+        (initial/true residuals) the raw call counter would include.
+        """
+        y = self._op.matvec(x)
+        result = self.injector.corrupt_vector("spmv", y, **context)
         self.calls += 1
         return result
 
@@ -92,5 +126,12 @@ class FaultyPreconditioner(Preconditioner):
             inner_iteration=self.calls, aggregate_inner_iteration=self.calls,
             mgs_index=-1, mgs_length=0,
         )
+        self.calls += 1
+        return result
+
+    def apply_in_context(self, r: np.ndarray, context: dict) -> np.ndarray:
+        """``apply`` with solver-supplied injection context (see FaultyOperator)."""
+        z = np.asarray(self._apply(r), dtype=np.float64)
+        result = self.injector.corrupt_vector("precond", z, **context)
         self.calls += 1
         return result

@@ -574,6 +574,27 @@ def _build_bitflip_fault(ctx, bit=None, bits=None, rng=None):
                         bits=bits, rng=rng)
 
 
+@register("fault_model", "multibit", positional=("num_bits",))
+def _build_multibit_fault(ctx, num_bits=2, bits=None, rng=None):
+    from repro.faults.models import MultiBitFault
+
+    return MultiBitFault(num_bits=int(num_bits), bits=bits, rng=rng)
+
+
+@register("fault_model", "burst", positional=("start_bit", "width"))
+def _build_burst_fault(ctx, start_bit=48, width=4):
+    from repro.faults.models import BurstFault
+
+    return BurstFault(start_bit=int(start_bit), width=int(width))
+
+
+@register("fault_model", "stuck_at", positional=("bit", "value"))
+def _build_stuck_at_fault(ctx, bit=62, value=1):
+    from repro.faults.models import StuckAtFault
+
+    return StuckAtFault(bit=int(bit), value=int(value))
+
+
 # ----------------------------- problems ------------------------------- #
 @register("problem", "poisson", positional=("grid_n",))
 def _build_poisson_problem(ctx, grid_n=100, seed=7):

@@ -291,9 +291,37 @@ class RunStore:
             os.replace(tmp, path)
         return pairs
 
+    def _latest_records(self, run_id: str,
+                        pairs: list[tuple[int, Any]]) -> list[tuple[int, Any]]:
+        """Last-wins dedupe with error-supersede semantics, in index order.
+
+        A resumed run re-executes trials whose previous attempt crashed or
+        timed out, so the journal may legitimately hold several records for
+        one index — as long as every record *before the last* is an
+        ``"error"`` record (the later attempt supersedes it).  A duplicated
+        *successful* record still raises: that signature means two writers
+        raced on the same run, which the store must not paper over.
+        """
+        latest: dict[int, Any] = {}
+        for index, record in pairs:
+            prev = latest.get(index)
+            if prev is not None and getattr(prev, "status", None) != "error":
+                raise RunStoreError(
+                    f"run {run_id!r} has duplicate trial index {index} "
+                    f"(the earlier record is not an error record)")
+            latest[index] = record
+        return sorted(latest.items())
+
     def completed_indices(self, run_id: str) -> set[int]:
-        """Indices of the trials already persisted for a run."""
-        return {index for index, _ in self.read_trials(run_id)[0]}
+        """Indices of the trials already persisted *successfully* for a run.
+
+        An index whose latest record is an ``"error"`` record (worker crash,
+        soft timeout) is treated as missing, so resume re-runs exactly the
+        casualties without re-solving completed trials.
+        """
+        pairs = self._latest_records(run_id, self.read_trials(run_id)[0])
+        return {index for index, record in pairs
+                if getattr(record, "status", None) != "error"}
 
     # ------------------------------------------------------------------ #
     # reading whole results back
@@ -309,16 +337,13 @@ class RunStore:
         from repro.faults.campaign import CampaignResult
 
         manifest = self.manifest(run_id)
-        pairs, torn = self.read_trials(run_id)
-        seen = {index for index, _ in pairs}
-        if len(seen) != len(pairs):
-            raise RunStoreError(f"run {run_id!r} has duplicate trial indices")
+        raw, torn = self.read_trials(run_id)
+        pairs = self._latest_records(run_id, raw)
         if not allow_partial and (torn or len(pairs) < manifest.total_trials):
             raise RunStoreError(
                 f"run {run_id!r} is incomplete ({len(pairs)}/{manifest.total_trials} "
                 f"trials{' + torn tail' if torn else ''}); resume it first or "
                 f"pass allow_partial=True")
-        pairs.sort(key=lambda pair: pair[0])
         return CampaignResult(
             problem_name=manifest.problem_name,
             mgs_position=manifest.mgs_position,
@@ -334,14 +359,13 @@ class RunStore:
 
     def query(self, run_id: str, *, allow_partial: bool = True) -> TrialQuery:
         """A :class:`TrialQuery` over a stored run's trial records."""
-        pairs, _ = self.read_trials(run_id)
+        pairs = self._latest_records(run_id, self.read_trials(run_id)[0])
         if not allow_partial:
             manifest = self.manifest(run_id)
             if len(pairs) < manifest.total_trials:
                 raise RunStoreError(
                     f"run {run_id!r} is incomplete "
                     f"({len(pairs)}/{manifest.total_trials} trials)")
-        pairs.sort(key=lambda pair: pair[0])
         return TrialQuery(record for _, record in pairs)
 
     # ------------------------------------------------------------------ #

@@ -40,6 +40,7 @@ __all__ = [
     "BOUND_METHODS",
     "LSQ_POLICIES",
     "MGS_POSITIONS",
+    "FAULT_PERSISTENCES",
 ]
 
 #: Valid values of the enum-like spec fields (the execution layer re-derives
@@ -50,6 +51,7 @@ DETECTOR_RESPONSES = ("flag", "zero", "clamp", "recompute", "raise")
 BOUND_METHODS = ("frobenius", "two_norm", "exact")
 LSQ_POLICIES = ("standard", "hybrid", "rank_revealing")
 MGS_POSITIONS = ("first", "last")
+FAULT_PERSISTENCES = ("transient", "sticky", "persistent")
 
 
 class SpecError(ValueError):
@@ -427,6 +429,11 @@ class ExecutionSpec(_SpecBase):
     chunksize: int | None = None
     batch_size: int | None = None
     kernels: str | None = None
+    #: Per-trial soft time budget in seconds.  A trial whose wall-clock time
+    #: exceeds it is quarantined as an ``"error"`` record after the fact (the
+    #: solve is never interrupted mid-flight, so results stay deterministic).
+    #: Like every execution knob it is excluded from the campaign fingerprint.
+    trial_timeout: float | None = None
 
     def __post_init__(self):
         from repro.exec.executor import BACKENDS, validate_backend_knobs
@@ -437,6 +444,9 @@ class ExecutionSpec(_SpecBase):
         _check_int("chunksize", self.chunksize, minimum=1, allow_none=True)
         _check_int("batch_size", self.batch_size, minimum=1, allow_none=True)
         _check_choice("kernels", self.kernels, KERNEL_CHOICES, allow_none=True)
+        _check_float("trial_timeout", self.trial_timeout, minimum=0.0, allow_none=True)
+        if self.trial_timeout is not None and self.trial_timeout <= 0.0:
+            raise SpecError("trial_timeout", f"must be > 0, got {self.trial_timeout}")
         try:
             validate_backend_knobs(self.backend, workers=self.workers,
                                    chunksize=self.chunksize,
@@ -493,6 +503,14 @@ class CampaignSpec(_SpecBase):
     detector: Any = None
     detector_response: str = "zero"
     site: str = "hessenberg"
+    #: Rate-based injection: ``None`` keeps the paper's one-fault-per-trial
+    #: location sweep; an integer ``k`` switches every trial to a
+    #: :class:`~repro.faults.schedule.FaultRateSchedule` firing ``k`` faults
+    #: per nested solve, anchored at the trial's sweep location.
+    fault_rate: int | None = None
+    #: How long the injected "hardware" fault lasts at each scheduled point
+    #: (``"transient"``/``"sticky"``/``"persistent"``; per-site windows).
+    fault_persistence: str = "transient"
     stride: int = 1
     locations: tuple | None = None
     solver: SolveSpec | None = None
@@ -512,6 +530,16 @@ class CampaignSpec(_SpecBase):
         _check_choice("detector_response", self.detector_response, DETECTOR_RESPONSES)
         if not isinstance(self.site, str) or not self.site:
             raise SpecError("site", f"expected a non-empty string, got {self.site!r}")
+        from repro.faults.schedule import KNOWN_SITES
+
+        for part in self.site.split(","):
+            name = part.strip()
+            if name != "*" and name not in KNOWN_SITES:
+                raise SpecError("site",
+                                f"unknown injection site {name!r}; expected one of "
+                                f"{list(KNOWN_SITES)}, '*', or a comma-separated list")
+        _check_int("fault_rate", self.fault_rate, minimum=1, allow_none=True)
+        _check_choice("fault_persistence", self.fault_persistence, FAULT_PERSISTENCES)
         _check_int("stride", self.stride, minimum=1)
         if self.locations is not None:
             if not isinstance(self.locations, (list, tuple)):

@@ -297,9 +297,20 @@ class TestGating:
                                  detector="bound", detector_response="raise")
         assert "raise" in campaign.batched_unsupported_reason()
 
-    def test_non_hessenberg_site_rejected(self, tiny_problem):
+    def test_spmv_site_supported(self, tiny_problem):
         campaign = FaultCampaign(tiny_problem, inner_iterations=10, max_outer=30,
                                  site="spmv")
+        assert campaign.batched_unsupported_reason() is None
+
+    def test_unsupported_site_rejected(self, tiny_problem):
+        campaign = FaultCampaign(tiny_problem, inner_iterations=10, max_outer=30,
+                                 site="givens")
+        assert "site" in campaign.batched_unsupported_reason()
+
+    def test_mixed_site_list_rejected(self, tiny_problem):
+        # A comma list is batched-eligible only when *every* site is.
+        campaign = FaultCampaign(tiny_problem, inner_iterations=10, max_outer=30,
+                                 site="spmv,precond")
         assert "site" in campaign.batched_unsupported_reason()
 
     def test_stateful_detector_rejected(self, tiny_problem):
