@@ -95,7 +95,7 @@ def solve(A, b, spec=None, *, x0=None, injector=None, events=None, **overrides):
 
 
 def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
-                 store=None, run_id=None, resume=False,
+                 store=None, run_id=None, resume=False, chaos=None,
                  **overrides) -> CampaignResult:
     """Run a fault-injection campaign as described by a campaign spec.
 
@@ -133,6 +133,12 @@ def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
         A resumed run that is already complete returns immediately with
         zero new solves.  ``resume=True`` on a run that does not exist yet
         simply starts it.
+    chaos : ChaosPolicy, optional
+        Infrastructure fault injection for the supervised backends
+        (``"sharded"``, and ``"process"`` with a ``trial_timeout``) — test
+        and CI instrumentation that kills/hangs shard workers and tears
+        store appends (see :mod:`repro.faults.chaos`).  Ignored by the
+        unsupervised backends.
 
     Returns
     -------
@@ -159,11 +165,12 @@ def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
                 stride=spec.stride,
                 progress=progress,
                 sink=sink,
+                chaos=chaos,
                 **spec.exec.executor_kwargs(),
             )
         return _run_stored_campaign(campaign, spec, RunStore.coerce(store),
                                     run_id=run_id, resume=resume,
-                                    progress=progress, sink=sink)
+                                    progress=progress, sink=sink, chaos=chaos)
     finally:
         if owns_sink and sink is not None:
             sink.close()
@@ -202,7 +209,7 @@ def iter_trials(problem=None, spec=None, **overrides):
 # store-backed execution (checkpoint / resume)
 # ---------------------------------------------------------------------- #
 def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
-                         progress, sink) -> CampaignResult:
+                         progress, sink, chaos=None) -> CampaignResult:
     """Execute a campaign with trial-granularity checkpointing in a store."""
     fingerprint = campaign.provenance["spec_hash"]
     if run_id is None:
@@ -216,16 +223,16 @@ def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
                 f"run {run_id!r} was produced by a different campaign "
                 f"(stored spec hash {manifest.spec_hash}, this campaign "
                 f"{fingerprint}); choose another run_id")
-        recovered = store.recover(run_id)  # also truncates a torn tail
-        # Last-wins per index, then drop error records (worker crash, soft
-        # timeout): those indices count as *not done*, so the resumed run
-        # re-executes exactly the casualties.  The re-run's record
-        # supersedes the stored error record on read.
-        latest: dict = {}
-        for index, record in recovered:
-            latest[index] = record
-        completed = sorted((index, record) for index, record in latest.items()
-                           if getattr(record, "status", None) != "error")
+        recovered = store.recover(run_id)  # also truncates torn tails
+        # Error-supersede dedupe per index, then drop error records (worker
+        # crash, timeout, poison): those indices count as *not done*, so the
+        # resumed run re-executes exactly the casualties.  The re-run's
+        # record supersedes the stored error record on read — in either
+        # file order, since a resume may land the new record in a
+        # lower-numbered shard than the stale error.
+        completed = [(index, record)
+                     for index, record in store._latest_records(run_id, recovered)
+                     if getattr(record, "status", None) != "error"]
         plan = campaign.plan(
             locations=manifest.locations,
             baseline=(manifest.failure_free_outer,
@@ -259,7 +266,22 @@ def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
     done_indices = {index for index, _ in completed}
     remaining = [s for s in plan.specs if s.index not in done_indices]
 
-    if remaining:
+    sharded = (spec.exec.backend == "sharded" or
+               (spec.exec.backend is None and spec.exec.shards is not None))
+    if remaining and sharded:
+        # Supervised execution: the shard workers persist their own records
+        # durably (crash-survivably) into <run>/shard-<k>/ — a flat writer
+        # here would double-store every trial.  The manifest still goes
+        # down first so an interrupted run can identify itself on resume.
+        store.write_manifest(manifest, resume=bool(completed) or resume)
+        result = campaign.run_plan(
+            plan, specs=remaining, progress=progress, sink=sink,
+            completed=completed, event_data={"run_id": run_id},
+            run_dir=store.run_path(run_id), chaos=chaos,
+            on_supervisor_state=lambda state: store.update_manifest_extra(
+                run_id, supervisor=state),
+            **spec.exec.executor_kwargs())
+    elif remaining:
         writer = store.create_run(manifest, resume=bool(completed) or resume)
         try:
             result = campaign.run_plan(
@@ -267,7 +289,7 @@ def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
                 # Persist first, observe second (run_plan's contract): an
                 # interrupt raised by a sink never loses a completed trial.
                 on_record=writer.append, completed=completed,
-                event_data={"run_id": run_id},
+                event_data={"run_id": run_id}, chaos=chaos,
                 **spec.exec.executor_kwargs())
         finally:
             writer.close()
@@ -279,6 +301,10 @@ def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
                                    sink=sink, completed=completed,
                                    event_data={"run_id": run_id})
     store.finalize(run_id)
+    # Compact shard directories into the flat layout now that the run is
+    # complete (a no-op for unsharded runs); an interrupted run never gets
+    # here, so its shard files stay put for resume.
+    store.merge_shards(run_id)
     return result
 
 

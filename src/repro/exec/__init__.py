@@ -16,15 +16,27 @@ from repro.exec.executor import (
     validate_backend_knobs,
 )
 from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
+from repro.exec.supervisor import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MAX_RETRIES,
+    ShardedSupervisor,
+    SupervisorDrained,
+    partition_shards,
+)
 
 __all__ = [
     "BACKENDS",
     "BACKEND_KNOBS",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_MAX_RETRIES",
     "CampaignExecutor",
     "CampaignConfig",
     "ProblemFactory",
+    "ShardedSupervisor",
+    "SupervisorDrained",
     "TrialSpec",
+    "partition_shards",
     "resolve_backend",
     "resolve_workers",
     "validate_backend_knobs",

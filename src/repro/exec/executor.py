@@ -14,6 +14,13 @@ schedules them over pluggable backends:
   this process, amortizing sparse index traffic and interpreter overhead
   across the batch.  Unlike process parallelism it needs no extra CPUs —
   it is the backend that wins on a single-core host.
+* ``"sharded"`` — the crash-supervised engine
+  (:mod:`repro.exec.supervisor`): the trial range is partitioned into
+  ``shards`` contiguous blocks, each run by a dedicated worker process
+  writing its own durable shard store; the supervisor watches heartbeats,
+  SIGKILLs workers stuck past ``trial_timeout``, restarts crashed workers
+  with bounded retries, and quarantines poison trials.  The backend that
+  survives segfaults, OOM kills, and stuck kernels.
 
 Design invariants:
 
@@ -61,7 +68,7 @@ class BackendKnobError(ValueError):
     """
 
 #: Recognized execution backends.
-BACKENDS = ("serial", "thread", "process", "batched")
+BACKENDS = ("serial", "thread", "process", "batched", "sharded")
 
 #: Which execution knobs each backend consumes.  Combinations outside this
 #: table are rejected up front (see :func:`validate_backend_knobs`) instead
@@ -72,6 +79,7 @@ BACKEND_KNOBS = {
     "thread": frozenset({"workers", "chunksize"}),
     "process": frozenset({"workers", "chunksize"}),
     "batched": frozenset({"batch_size"}),
+    "sharded": frozenset({"shards", "max_retries", "heartbeat_interval"}),
 }
 
 #: Default lockstep batch width for the ``"batched"`` backend: wide enough to
@@ -119,13 +127,19 @@ def resolve_backend(backend: str | None, workers: int) -> str:
 
 def validate_backend_knobs(backend: str | None, *, workers: int | None = None,
                            chunksize: int | None = None,
-                           batch_size: int | None = None) -> None:
+                           batch_size: int | None = None,
+                           shards: int | None = None,
+                           max_retries: int | None = None,
+                           heartbeat_interval: float | None = None) -> None:
     """Reject knob/backend combinations that would be silently ignored.
 
     Only *explicitly supplied* knobs (non-``None``) are checked, so defaults
     and the ``REPRO_WORKERS`` environment variable never trip this.
-    ``backend=None`` is always consistent except for the ambiguous
-    ``batch_size`` + ``workers > 1`` pair (see :func:`resolve_backend`).
+    ``backend=None`` is always consistent except for ambiguous pairs — an
+    explicit ``batch_size`` selects ``'batched'`` and an explicit ``shards``
+    selects ``'sharded'``, so combining either with each other or with a
+    parallel ``workers`` count has no single resolution (see
+    :func:`resolve_backend`).
     Raises :class:`BackendKnobError` with the knob to drop or the backend to pick.
     """
     if backend is not None and backend not in BACKENDS:
@@ -136,6 +150,25 @@ def validate_backend_knobs(backend: str | None, *, workers: int | None = None,
                 f"batch_size={batch_size} and workers={workers} are mutually "
                 f"exclusive without an explicit backend: batch_size selects the "
                 f"single-process 'batched' engine; drop one knob or pass backend=")
+        if shards is not None and batch_size is not None:
+            raise BackendKnobError(
+                f"shards={shards} and batch_size={batch_size} are mutually "
+                f"exclusive without an explicit backend: shards selects the "
+                f"'sharded' supervisor, batch_size selects the 'batched' "
+                f"engine; drop one knob or pass backend=")
+        if shards is not None and workers is not None and workers > 1:
+            raise BackendKnobError(
+                f"shards={shards} and workers={workers} are mutually exclusive "
+                f"without an explicit backend: the sharded supervisor sizes "
+                f"its worker fleet from shards; drop one knob or pass backend=")
+        if shards is None:
+            for name, value in (("max_retries", max_retries),
+                                ("heartbeat_interval", heartbeat_interval)):
+                if value is not None:
+                    raise BackendKnobError(
+                        f"{name}={value} only applies to the supervised backend "
+                        f"('sharded'); set shards= or backend='sharded' to "
+                        f"select it, or drop {name}.")
         return
     allowed = BACKEND_KNOBS[backend]
     if batch_size is not None and "batch_size" not in allowed:
@@ -150,11 +183,21 @@ def validate_backend_knobs(backend: str | None, *, workers: int | None = None,
             f"Drop chunksize or use backend='thread'/'process'.")
     # workers=1 is the serial meaning of "no parallelism" and stays accepted
     # everywhere; only a parallel worker count on a non-pool backend errors.
-    if workers is not None and workers != 1 and "workers" not in allowed:
+    # The sharded supervisor also honors workers as a shards fallback, so a
+    # parallel count is meaningful there too.
+    if (workers is not None and workers != 1 and "workers" not in allowed
+            and backend != "sharded"):
         raise BackendKnobError(
             f"workers only applies to the pool backends ('thread'/'process'); "
             f"backend={backend!r} would ignore workers={workers}. "
             f"Drop workers or use backend='thread'/'process'.")
+    for name, value in (("shards", shards), ("max_retries", max_retries),
+                        ("heartbeat_interval", heartbeat_interval)):
+        if value is not None and name not in allowed:
+            raise BackendKnobError(
+                f"{name} only applies to the supervised backend ('sharded'); "
+                f"backend={backend!r} would ignore {name}={value}. "
+                f"Drop {name} or use backend='sharded'.")
 
 
 # ---------------------------------------------------------------------- #
@@ -206,10 +249,12 @@ class CampaignExecutor:
     config : CampaignConfig or FaultCampaign
         What each worker needs to run trials.  A campaign instance is
         snapshotted via :meth:`FaultCampaign.to_config`.
-    backend : {"serial", "thread", "process", "batched"} or None
+    backend : {"serial", "thread", "process", "batched", "sharded"} or None
         ``None`` auto-selects: ``process`` when ``workers > 1``.  The
         ``"batched"`` backend advances trials in lockstep through shared
-        block kernels in this process (see :mod:`repro.core.batched`).
+        block kernels in this process (see :mod:`repro.core.batched`); the
+        ``"sharded"`` backend runs crash-supervised worker processes (see
+        :mod:`repro.exec.supervisor`).
     workers : int, optional
         Worker count; defaults to the ``REPRO_WORKERS`` environment variable
         and then 1.  ``0`` means one per CPU.
@@ -220,10 +265,36 @@ class CampaignExecutor:
     batch_size : int, optional
         Lockstep batch width for the ``"batched"`` backend (default
         :data:`DEFAULT_BATCH_SIZE`); ignored by the other backends.
+    shards : int, optional
+        Worker-process count for the ``"sharded"`` supervisor; setting it
+        with ``backend=None`` selects that backend (falls back to
+        ``workers`` when the backend is explicit and shards is not).
+    max_retries : int, optional
+        Crashes a single trial may cause before the sharded supervisor
+        quarantines it as a poison error record (default
+        :data:`repro.exec.supervisor.DEFAULT_MAX_RETRIES`).
+    heartbeat_interval : float, optional
+        Seconds between supervisor liveness polls (default
+        :data:`repro.exec.supervisor.DEFAULT_HEARTBEAT_INTERVAL`).
+    run_dir : str, optional
+        Run directory whose ``shard-<k>/`` subdirectories hold the durable
+        shard stores (sharded backend; an ephemeral temp dir is used when
+        omitted, e.g. for storeless campaigns).
+    chaos : ChaosPolicy, optional
+        Fault-injection policy for the supervisor's *own* infrastructure
+        (see :mod:`repro.faults.chaos`) — test/CI instrumentation.
+    on_supervisor_state : callable, optional
+        ``on_supervisor_state(state_dict)`` invoked whenever the sharded
+        supervisor's retry/quarantine bookkeeping changes (the run store
+        persists it into the manifest).
     """
 
     def __init__(self, config, *, backend: str | None = None, workers: int | None = None,
-                 chunksize: int | None = None, batch_size: int | None = None):
+                 chunksize: int | None = None, batch_size: int | None = None,
+                 shards: int | None = None, max_retries: int | None = None,
+                 heartbeat_interval: float | None = None,
+                 run_dir: str | None = None, chaos=None,
+                 on_supervisor_state=None):
         self._local_campaign = None
         if not isinstance(config, CampaignConfig):
             to_config = getattr(config, "to_config", None)
@@ -239,12 +310,21 @@ class CampaignExecutor:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
         if batch_size is not None and batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if shards is not None and shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if max_retries is not None and max_retries <= 0:
+            raise ValueError(f"max_retries must be positive, got {max_retries}")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}")
         # Explicit knobs must be consistent with the (resolved) backend —
         # silently ignoring e.g. batch_size under backend="process" hides
         # configuration mistakes (checked before workers pick up the
         # REPRO_WORKERS environment default, which never trips this).
         validate_backend_knobs(backend, workers=workers, chunksize=chunksize,
-                               batch_size=batch_size)
+                               batch_size=batch_size, shards=shards,
+                               max_retries=max_retries,
+                               heartbeat_interval=heartbeat_interval)
         self.workers = resolve_workers(workers)
         if backend is None and batch_size is not None:
             # An explicit batch_size selects the batched engine.  An explicit
@@ -252,6 +332,9 @@ class CampaignExecutor:
             # REPRO_WORKERS environment variable is only a default and must
             # not veto the explicit knob.
             self.backend = "batched"
+        elif backend is None and shards is not None:
+            # Symmetrically, an explicit shards count selects the supervisor.
+            self.backend = "sharded"
         else:
             self.backend = resolve_backend(backend, self.workers)
         if backend is None:
@@ -259,9 +342,20 @@ class CampaignExecutor:
             # (workers is exempt here: it either chose the backend or came
             # from the environment default).
             validate_backend_knobs(self.backend, chunksize=chunksize,
-                                   batch_size=batch_size)
+                                   batch_size=batch_size, shards=shards,
+                                   max_retries=max_retries,
+                                   heartbeat_interval=heartbeat_interval)
         self.chunksize = chunksize
         self.batch_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        self.shards = shards
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.run_dir = run_dir
+        self.chaos = chaos
+        self.on_supervisor_state = on_supervisor_state
+        #: The live ShardedSupervisor while a supervised iteration runs
+        #: (``request_drain()`` hook for graceful-shutdown callers).
+        self.supervisor = None
 
     # ------------------------------------------------------------------ #
     def run(self, specs, progress=None) -> list:
@@ -312,9 +406,19 @@ class CampaignExecutor:
         if len(set(indices)) != total:
             raise ValueError("trial spec indices must be unique")
 
-        if self.backend == "batched":
+        if self.backend == "sharded":
+            shards = self.shards if self.shards is not None else self.workers
+            yield from self._iter_supervised(specs, shards=shards)
+        elif self.backend == "batched":
             yield from self._campaign().iter_specs_batched(
                 specs, batch_size=self.batch_size)
+        elif self.backend == "process" and self.config.trial_timeout is not None:
+            # Hard trial_timeout enforcement: the plain process pool cannot
+            # interrupt a trial stuck inside a kernel, so a timeout-carrying
+            # process campaign routes through the supervisor (which SIGKILLs
+            # the stuck worker and records the trial as an error).  serial/
+            # thread keep the soft after-the-fact check.
+            yield from self._iter_supervised(specs, shards=self.workers)
         elif self.backend == "serial" or self.workers <= 1 or total == 1:
             campaign = self._campaign()
             for spec in specs:
@@ -327,6 +431,23 @@ class CampaignExecutor:
         if self._local_campaign is None:
             self._local_campaign = self.config.build_campaign()
         return self._local_campaign
+
+    def _iter_supervised(self, specs, *, shards: int):
+        from repro.exec.supervisor import ShardedSupervisor
+
+        provenance = (dict(self._local_campaign.provenance)
+                      if self._local_campaign is not None else None)
+        supervisor = ShardedSupervisor(
+            self.config, shards=max(1, shards),
+            max_retries=self.max_retries,
+            heartbeat_interval=self.heartbeat_interval,
+            run_dir=self.run_dir, chaos=self.chaos,
+            provenance=provenance, on_state=self.on_supervisor_state)
+        self.supervisor = supervisor
+        try:
+            yield from supervisor.iter_records(specs)
+        finally:
+            self.supervisor = None
 
     def _iter_pool(self, specs):
         workers = min(self.workers, len(specs))

@@ -129,23 +129,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "sweep location")
     parser.add_argument("--trial-timeout", type=float, default=None,
                         dest="trial_timeout", metavar="SECONDS",
-                        help="per-trial soft time budget: a trial exceeding "
-                             "it is quarantined as an error record (re-run "
-                             "by --resume) instead of poisoning the sweep")
+                        help="per-trial time budget: hard-enforced (stuck "
+                             "worker SIGKILL-ed, trial recorded as an error, "
+                             "re-run by --resume) on the sharded and process "
+                             "backends, checked after the fact on the others")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel workers for the sweeps (default: REPRO_WORKERS "
                              "or 1; 0 = one per CPU)")
     parser.add_argument("--backend", default=None,
-                        choices=["serial", "thread", "process", "batched"],
+                        choices=["serial", "thread", "process", "batched", "sharded"],
                         help="campaign execution backend (default: process when "
                              "workers > 1, else serial).  'process' wins when spare "
                              "CPU cores are available; 'batched' advances trials in "
                              "lockstep through shared block kernels and is the right "
                              "choice on single-CPU hosts, where process dispatch is "
-                             "pure overhead")
+                             "pure overhead; 'sharded' supervises crash-isolated "
+                             "shard workers (heartbeats, hard timeouts, retries, "
+                             "poison quarantine)")
     parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
                         help="trials advanced in lockstep per batch "
                              "(batched backend only; default 32)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard worker processes for the supervised "
+                             "backend (implies --backend sharded)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        dest="max_retries",
+                        help="worker crashes one trial may cause before it "
+                             "is quarantined as a poison error record "
+                             "(sharded backend; default 3)")
+    parser.add_argument("--heartbeat-interval", type=float, default=None,
+                        dest="heartbeat_interval", metavar="SECONDS",
+                        help="supervisor liveness poll cadence (sharded "
+                             "backend; default 0.1)")
     parser.add_argument("--kernels", default=None,
                         choices=["auto", "numpy", "scipy", "numba"],
                         help="sparse kernel tier for every solve (default: "
@@ -225,6 +240,12 @@ def build_campaign_spec(args, *, problem_key: str = "poisson") -> CampaignSpec:
         flag_overrides["exec.workers"] = args.workers
     if args.batch_size is not None:
         flag_overrides["exec.batch_size"] = args.batch_size
+    if args.shards is not None:
+        flag_overrides["exec.shards"] = args.shards
+    if args.max_retries is not None:
+        flag_overrides["exec.max_retries"] = args.max_retries
+    if args.heartbeat_interval is not None:
+        flag_overrides["exec.heartbeat_interval"] = args.heartbeat_interval
     spec = apply_overrides(spec, flag_overrides)
 
     for item in args.overrides:

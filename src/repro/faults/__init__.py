@@ -18,7 +18,9 @@ a chosen class.  This package generalizes that methodology:
   attached to a sandbox only act while the sandbox is active;
 * :mod:`repro.faults.bitflip`   — IEEE-754 bit manipulation helpers;
 * :mod:`repro.faults.campaign`  — sweep drivers that run a solver over every
-  injection location and fault class (the engine behind Figures 3 and 4).
+  injection location and fault class (the engine behind Figures 3 and 4);
+* :mod:`repro.faults.chaos`     — infrastructure fault injection (worker
+  kills, hangs, torn store appends) for the sharded supervisor's tests.
 """
 
 from repro.faults.bitflip import flip_bit, flip_bit_in_array, random_bit_flip
@@ -51,6 +53,7 @@ from repro.faults.campaign import (
     TrialRecord,
     sweep_injection_locations,
 )
+from repro.faults.chaos import ChaosError, ChaosPolicy
 
 __all__ = [
     "flip_bit",
@@ -79,6 +82,8 @@ __all__ = [
     "FaultyOperator",
     "FaultyPreconditioner",
     "CampaignResult",
+    "ChaosError",
+    "ChaosPolicy",
     "FaultCampaign",
     "TrialRecord",
     "sweep_injection_locations",

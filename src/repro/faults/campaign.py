@@ -87,6 +87,10 @@ class TrialRecord:
     repro_version: str | None = field(default=None, compare=False)
     seed: int | None = field(default=None, compare=False)
     spec_hash: str | None = field(default=None, compare=False)
+    #: How many times this trial crashed its worker before this record was
+    #: produced (sharded supervisor bookkeeping).  ``compare=False``: a
+    #: retried trial's measurement is still the same physics.
+    retries: int = field(default=0, compare=False)
 
     @property
     def is_error(self) -> bool:
@@ -105,6 +109,8 @@ class TrialRecord:
         for key in ("error", "repro_version", "seed", "spec_hash"):
             if out[key] is None:
                 del out[key]
+        if not out["retries"]:
+            del out["retries"]  # the overwhelmingly common case stays compact
         return out
 
     def summary(self) -> dict:
@@ -190,10 +196,18 @@ class CampaignResult:
         return self.query().filter(converged=False).records()
 
     def summary(self) -> dict:
-        """Aggregate statistics keyed by fault class (used by EXPERIMENTS.md)."""
+        """Aggregate statistics keyed by fault class (used by EXPERIMENTS.md).
+
+        Besides the paper's convergence statistics, each class reports its
+        reliability totals — ``errors`` (crashed/timed-out/quarantined
+        trials), ``quarantined`` (the poison subset), and ``retries``
+        (worker crashes survived before the records were produced) — so
+        flaky infrastructure is visible instead of silently healed.
+        """
         def per_class(q: TrialQuery) -> dict:
             worst = int(q.max("outer_iterations"))
             increase = max(worst - self.failure_free_outer, 0)
+            errors = q.errors()
             return {
                 "max_outer": worst,
                 "max_increase": increase,
@@ -201,6 +215,10 @@ class CampaignResult:
                                      if self.failure_free_outer else 0.0),
                 "detection_rate": q.rate(lambda t: t.faults_detected > 0),
                 "trials": len(q),
+                "errors": len(errors),
+                "quarantined": errors.count(
+                    lambda t: (t.error or "").startswith("poison")),
+                "retries": q.retry_count(),
             }
 
         return {cls: per_class(q)
@@ -843,8 +861,8 @@ class FaultCampaign:
                  sink=None, backend: str | None = None,
                  workers: int | None = None, chunksize: int | None = None,
                  batch_size: int | None = None, executor=None,
-                 on_record=None, completed=(), event_data: dict | None = None
-                 ) -> CampaignResult:
+                 on_record=None, completed=(), event_data: dict | None = None,
+                 **executor_kwargs) -> CampaignResult:
         """Execute (the remainder of) a plan and assemble the result.
 
         The one implementation of the campaign lifecycle — event emission,
@@ -884,7 +902,8 @@ class FaultCampaign:
         if todo:
             for index, record in self.iter_records(
                     todo, executor=executor, backend=backend, workers=workers,
-                    chunksize=chunksize, batch_size=batch_size):
+                    chunksize=chunksize, batch_size=batch_size,
+                    **executor_kwargs):
                 if on_record is not None:
                     on_record(index, record)
                 pairs.append((index, record))
@@ -904,7 +923,7 @@ class FaultCampaign:
 
     def iter_records(self, specs, *, executor=None, backend: str | None = None,
                      workers: int | None = None, chunksize: int | None = None,
-                     batch_size: int | None = None):
+                     batch_size: int | None = None, **executor_kwargs):
         """Stream provenance-stamped ``(index, record)`` pairs as trials finish.
 
         Completion order (lazy over serial, windowed over the pool and
@@ -917,14 +936,15 @@ class FaultCampaign:
 
         if executor is None:
             executor = CampaignExecutor(self, backend=backend, workers=workers,
-                                        chunksize=chunksize, batch_size=batch_size)
+                                        chunksize=chunksize, batch_size=batch_size,
+                                        **executor_kwargs)
         for index, record in executor.iter_records(specs):
             yield index, self.stamp(record)
 
     def run(self, locations=None, stride: int = 1, progress=None, *,
             backend: str | None = None, workers: int | None = None,
             chunksize: int | None = None, batch_size: int | None = None,
-            executor=None, sink=None) -> CampaignResult:
+            executor=None, sink=None, **executor_kwargs) -> CampaignResult:
         """Run the full campaign.
 
         Parameters
@@ -941,12 +961,13 @@ class FaultCampaign:
             ``progress(done, total)`` callback (a thin adapter over the
             event bus: equivalent to a ``sink`` observing only
             ``trial_completed`` events).
-        backend : {"serial", "thread", "process", "batched"}, optional
+        backend : {"serial", "thread", "process", "batched", "sharded"}, optional
             Execution backend; ``None`` auto-selects ``process`` when the
             resolved worker count exceeds 1.  ``"batched"`` advances trials
             in lockstep through shared block kernels in this process — the
             right choice on single-CPU hosts, where process dispatch is pure
-            overhead.
+            overhead.  ``"sharded"`` runs crash-supervised worker processes
+            (see :class:`repro.exec.supervisor.ShardedSupervisor`).
         workers : int, optional
             Worker count (default: the ``REPRO_WORKERS`` environment
             variable, then 1; ``0`` means one per CPU).
@@ -979,7 +1000,7 @@ class FaultCampaign:
                              progress=progress, sink=resolve_sink(sink),
                              backend=backend, workers=workers,
                              chunksize=chunksize, batch_size=batch_size,
-                             executor=executor)
+                             executor=executor, **executor_kwargs)
 
 
 def sweep_injection_locations(

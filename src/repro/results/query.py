@@ -97,6 +97,28 @@ class TrialQuery:
                                  reverse=reverse))
 
     # ------------------------------------------------------------------ #
+    # reliability
+    # ------------------------------------------------------------------ #
+    def errors(self) -> "TrialQuery":
+        """Records of crashed, timed-out, or quarantined trials.
+
+        ``status="error"`` covers trials whose solve raised or blew its
+        soft budget (PR 7) and, under the sharded supervisor, trials that
+        hard-timed-out or were quarantined as poison after repeatedly
+        killing their worker (``error`` starts with ``"poison"``).
+        """
+        return self.filter(status="error")
+
+    def retry_count(self) -> int:
+        """Total worker-crash retries recorded across these trials.
+
+        Each record's ``retries`` field counts how many times the trial
+        took its sharded worker down before this record was produced;
+        records from non-supervised backends contribute 0.
+        """
+        return int(sum(getattr(r, "retries", 0) or 0 for r in self._records))
+
+    # ------------------------------------------------------------------ #
     # projections
     # ------------------------------------------------------------------ #
     def values(self, field: str) -> list:

@@ -8,17 +8,34 @@ Layout (one directory per run under the store root)::
                           # baseline numbers, resolved locations, status
         trials.jsonl      # one TrialRecord per line, appended + flushed as
                           # each trial completes, in COMPLETION order
+        shard-<k>/        # sharded-supervisor runs: one store shard per
+          trials.jsonl    # worker process, merged on read (and compacted
+          heartbeat.json  # into the flat layout by merge_shards)
       artifacts/
         <name>.json       # non-campaign artifacts (Table I rows, Figure 2)
 
 Durability contract
 -------------------
 ``trials.jsonl`` is append-only and flushed per record, so a crash (or
-SIGTERM) at any point loses at most the record being written.  A torn final
-line is expected after a crash: :meth:`RunStore.read_trials` detects it,
-reports it, and :meth:`RunStore.recover` truncates the file back to the last
-complete record so appending can resume.  A corrupt line *before* the final
-one is real corruption and raises :class:`RunStoreError`.
+SIGTERM, or a SIGKILL-ed shard worker) at any point loses at most the record
+being written.  A torn final line is expected after a crash:
+:meth:`RunStore.read_trials` detects it, reports it, and
+:meth:`RunStore.recover` truncates the file (each shard file independently)
+back to its last complete record so appending can resume.  A corrupt line
+*before* the final one is real corruption and raises :class:`RunStoreError`.
+
+Shard layout
+------------
+The sharded supervisor (:mod:`repro.exec.supervisor`) gives every worker
+process its own ``shard-<k>/trials.jsonl`` so crash recovery never has two
+writers on one file.  All read paths (:meth:`RunStore.read_trials`,
+:meth:`~RunStore.load_result`, :meth:`~RunStore.query`,
+:meth:`~RunStore.completed_indices`) merge the flat file and every shard
+file transparently, deduping through the error-supersede rules; a resumed
+run may re-partition casualties across *different* shards, so a stale error
+record and its superseding measurement can appear in either file order.
+Once a run is complete, :meth:`RunStore.merge_shards` compacts the shards
+into the flat layout (idempotent, fingerprint-verified).
 
 Resume contract
 ---------------
@@ -40,16 +57,65 @@ from typing import Any
 from repro.results.query import TrialQuery
 
 __all__ = ["RunStoreError", "RunManifest", "RunWriter", "RunStore",
-           "campaign_fingerprint"]
+           "campaign_fingerprint", "read_trial_file", "shard_dir_name"]
 
 _MANIFEST = "manifest.json"
 _TRIALS = "trials.jsonl"
 _ARTIFACTS = "artifacts"
 _RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
 
 
 class RunStoreError(RuntimeError):
     """A run-store consistency problem (missing run, spec mismatch, ...)."""
+
+
+def shard_dir_name(shard: int) -> str:
+    """The directory name of one store shard (``shard-<k>``)."""
+    return f"shard-{int(shard)}"
+
+
+def read_trial_file(path: str) -> tuple[list[tuple[int, Any]], int, bool]:
+    """Parse one trials JSONL file (flat or shard).
+
+    Returns ``(pairs, valid_bytes, torn)``: the parsed ``(index,
+    TrialRecord)`` pairs in file order, the byte offset just past the last
+    complete parseable line (``os.truncate`` at this offset is the recovery
+    operation), and whether a torn tail — an unterminated or corrupt *final*
+    line, the expected signature of a crash mid-append — follows it.
+    Corruption before the final line raises :class:`RunStoreError`; a
+    missing file reads as empty.
+    """
+    from repro.faults.campaign import TrialRecord
+
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, False
+    pairs: list[tuple[int, Any]] = []
+    pos = 0
+    lineno = 0
+    torn = False
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline < 0:
+            torn = True  # unterminated tail: crash mid-append
+            break
+        lineno += 1
+        try:
+            row = json.loads(data[pos:newline].decode("utf-8"))
+            index = int(row.pop("index"))
+            record = TrialRecord.from_dict(row)
+        except (ValueError, TypeError, KeyError, UnicodeDecodeError) as exc:
+            if newline + 1 < len(data):
+                raise RunStoreError(
+                    f"corrupt trial record at {path}:{lineno}: {exc}") from None
+            torn = True  # corrupt final line: same crash signature
+            break
+        pairs.append((index, record))
+        pos = newline + 1
+    return pairs, pos, torn
 
 
 def campaign_fingerprint(spec, problem_name: str) -> str:
@@ -201,6 +267,18 @@ class RunStore:
         are evidence, not cache.  Reopening verifies nothing (the caller
         checks the fingerprint first via :meth:`manifest`).
         """
+        self.write_manifest(manifest, resume=resume)
+        return RunWriter(os.path.join(self.run_path(manifest.run_id), _TRIALS))
+
+    def write_manifest(self, manifest: RunManifest, *, resume: bool = False) -> None:
+        """Persist a run's manifest without opening a flat trial writer.
+
+        The sharded supervisor appends trial records to per-shard files, so
+        it needs the manifest (identity, baseline, resume contract) on disk
+        without the flat ``trials.jsonl`` handle :meth:`create_run` returns.
+        Overwrite rules match :meth:`create_run`: a fresh write refuses an
+        existing run, and ``resume=True`` keeps the stored manifest.
+        """
         path = self.run_path(manifest.run_id)
         if self.exists(manifest.run_id) and not resume:
             raise RunStoreError(
@@ -209,7 +287,18 @@ class RunStore:
         os.makedirs(path, exist_ok=True)
         if not self.exists(manifest.run_id):
             self._write_manifest(manifest)
-        return RunWriter(os.path.join(path, _TRIALS))
+
+    def update_manifest_extra(self, run_id: str, **extra) -> RunManifest:
+        """Merge keys into a stored manifest's ``extra`` dict (atomic rewrite).
+
+        The supervisor's retry/quarantine accounting persists here, so a
+        resumed campaign (and post-mortem analysis) can see how flaky the
+        infrastructure was without scanning shard files.
+        """
+        manifest = self.manifest(run_id)
+        manifest.extra.update(extra)
+        self._write_manifest(manifest)
+        return manifest
 
     def manifest(self, run_id: str) -> RunManifest:
         """The manifest of a stored run."""
@@ -239,78 +328,144 @@ class RunStore:
         self._write_manifest(manifest)
 
     # ------------------------------------------------------------------ #
-    # trial records
+    # trial records (flat file + shard files, merged on read)
     # ------------------------------------------------------------------ #
+    def shard_ids(self, run_id: str) -> list[int]:
+        """The shard numbers present in a run's directory, sorted."""
+        run_dir = self.run_path(run_id)
+        if not os.path.isdir(run_dir):
+            return []
+        return sorted(int(match.group(1)) for name in os.listdir(run_dir)
+                      if (match := _SHARD_DIR_RE.match(name))
+                      and os.path.isdir(os.path.join(run_dir, name)))
+
+    def shard_path(self, run_id: str, shard: int) -> str:
+        """The directory of one store shard (need not exist yet)."""
+        return os.path.join(self.run_path(run_id), shard_dir_name(shard))
+
+    def _trial_paths(self, run_id: str) -> list[str]:
+        """Every trials file of a run: the flat file, then shards in order."""
+        paths = []
+        flat = os.path.join(self.run_path(run_id), _TRIALS)
+        if os.path.isfile(flat):
+            paths.append(flat)
+        for shard in self.shard_ids(run_id):
+            shard_file = os.path.join(self.shard_path(run_id, shard), _TRIALS)
+            if os.path.isfile(shard_file):
+                paths.append(shard_file)
+        return paths
+
     def read_trials(self, run_id: str) -> tuple[list[tuple[int, Any]], bool]:
         """All persisted ``(index, TrialRecord)`` pairs, in file order.
 
-        Returns ``(pairs, torn_tail)`` where ``torn_tail`` reports a
-        truncated/corrupt *final* line (the expected signature of a crash
-        mid-append) — that line is skipped.  Corruption anywhere else raises
-        :class:`RunStoreError`.
+        Pairs come from the flat ``trials.jsonl`` followed by every
+        ``shard-<k>/trials.jsonl`` in shard order.  Returns ``(pairs,
+        torn_tail)`` where ``torn_tail`` reports a truncated/corrupt *final*
+        line in any of the files (the expected signature of a crash
+        mid-append) — such lines are skipped.  Corruption anywhere else
+        raises :class:`RunStoreError`.
         """
-        from repro.faults.campaign import TrialRecord
-
-        path = os.path.join(self.run_path(run_id), _TRIALS)
-        if not os.path.isfile(path):
+        paths = self._trial_paths(run_id)
+        if not paths:
             self.manifest(run_id)  # raises if the whole run is missing
             return [], False
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
         pairs: list[tuple[int, Any]] = []
-        for lineno, line in enumerate(lines):
-            try:
-                row = json.loads(line)
-                index = int(row.pop("index"))
-                record = TrialRecord.from_dict(row)
-            except (ValueError, TypeError, KeyError) as exc:
-                if lineno == len(lines) - 1:
-                    return pairs, True  # torn tail: crash mid-append
-                raise RunStoreError(
-                    f"corrupt trial record at {path}:{lineno + 1}: {exc}") from None
-            pairs.append((index, record))
-        return pairs, False
+        torn_any = False
+        for path in paths:
+            file_pairs, _, torn = read_trial_file(path)
+            pairs.extend(file_pairs)
+            torn_any = torn_any or torn
+        return pairs, torn_any
 
     def recover(self, run_id: str) -> list[tuple[int, Any]]:
-        """Read trials and truncate any torn tail so appends can resume.
+        """Read trials and truncate torn tails so appends can resume.
 
-        Returns the surviving ``(index, TrialRecord)`` pairs.  The
-        truncation rewrites ``trials.jsonl`` atomically from the parsed
-        records, so the file ends with a complete line afterwards.
+        Shard-aware: each trials file (flat and per-shard) is truncated
+        *independently* back to its last complete record — a SIGKILL-ed
+        shard worker tears only its own file.  Returns the surviving
+        ``(index, TrialRecord)`` pairs across all files.
         """
-        pairs, torn = self.read_trials(run_id)
-        if torn:
-            path = os.path.join(self.run_path(run_id), _TRIALS)
-            tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                for index, record in pairs:
-                    handle.write(json.dumps({"index": index, **record.to_dict()})
-                                 + "\n")
-            os.replace(tmp, path)
+        paths = self._trial_paths(run_id)
+        if not paths:
+            self.manifest(run_id)
+            return []
+        pairs: list[tuple[int, Any]] = []
+        for path in paths:
+            file_pairs, valid_bytes, torn = read_trial_file(path)
+            if torn:
+                with open(path, "rb+") as handle:
+                    handle.truncate(valid_bytes)
+            pairs.extend(file_pairs)
         return pairs
 
     def _latest_records(self, run_id: str,
                         pairs: list[tuple[int, Any]]) -> list[tuple[int, Any]]:
-        """Last-wins dedupe with error-supersede semantics, in index order.
+        """Dedupe records per index with error-supersede semantics, in index order.
 
-        A resumed run re-executes trials whose previous attempt crashed or
-        timed out, so the journal may legitimately hold several records for
-        one index — as long as every record *before the last* is an
-        ``"error"`` record (the later attempt supersedes it).  A duplicated
-        *successful* record still raises: that signature means two writers
-        raced on the same run, which the store must not paper over.
+        A resumed or sharded run legitimately holds several records for one
+        index: an attempt that crashed or timed out left an ``"error"``
+        record and a later attempt superseded it.  Because a resume may
+        re-partition the remaining indices across *different* shards, the
+        error record and the superseding measurement can appear in either
+        read order — the successful record wins regardless.  Two
+        *successful* records for one index still raise: that signature means
+        two writers raced on the same run, which the store must not paper
+        over.
         """
         latest: dict[int, Any] = {}
         for index, record in pairs:
             prev = latest.get(index)
-            if prev is not None and getattr(prev, "status", None) != "error":
+            if prev is None:
+                latest[index] = record
+                continue
+            prev_error = getattr(prev, "status", None) == "error"
+            this_error = getattr(record, "status", None) == "error"
+            if not prev_error and not this_error:
                 raise RunStoreError(
                     f"run {run_id!r} has duplicate trial index {index} "
                     f"(the earlier record is not an error record)")
-            latest[index] = record
+            if prev_error:
+                latest[index] = record  # measurement (or newer error) wins
+            # else: keep the measurement; the error record is stale
         return sorted(latest.items())
+
+    def merge_shards(self, run_id: str) -> int:
+        """Compact shard directories into the flat ``trials.jsonl`` layout.
+
+        Recovers per-shard torn tails, dedupes every record through the
+        error-supersede rules, verifies each provenance-stamped record
+        against the manifest's spec hash, rewrites the flat file atomically
+        in canonical index order, and removes the shard directories.
+        Idempotent: a run with no shard directories returns unchanged.
+
+        Returns the number of shard directories merged away.
+        """
+        import shutil
+
+        shard_ks = self.shard_ids(run_id)
+        if not shard_ks:
+            return 0
+        manifest = self.manifest(run_id)
+        latest = self._latest_records(run_id, self.recover(run_id))
+        for index, record in latest:
+            stamped = getattr(record, "spec_hash", None)
+            if (stamped is not None and manifest.spec_hash
+                    and stamped != manifest.spec_hash):
+                raise RunStoreError(
+                    f"run {run_id!r}: shard record for trial {index} was "
+                    f"produced by a different campaign (record spec hash "
+                    f"{stamped}, manifest {manifest.spec_hash}); refusing "
+                    f"to merge")
+        path = os.path.join(self.run_path(run_id), _TRIALS)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for index, record in latest:
+                handle.write(json.dumps({"index": index, **record.to_dict()})
+                             + "\n")
+        os.replace(tmp, path)
+        for shard in shard_ks:
+            shutil.rmtree(self.shard_path(run_id, shard), ignore_errors=True)
+        return len(shard_ks)
 
     def completed_indices(self, run_id: str) -> set[int]:
         """Indices of the trials already persisted *successfully* for a run.

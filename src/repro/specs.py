@@ -411,10 +411,12 @@ class ExecutionSpec(_SpecBase):
     """How a campaign's independent trials are scheduled.
 
     ``backend=None`` auto-selects (``"batched"`` when ``batch_size`` is set,
-    ``"process"`` when ``workers > 1``, else ``"serial"``).  Knob/backend
-    combinations are validated *up front* — ``batch_size`` only applies to
-    the batched backend, ``workers``/``chunksize`` only to the pool backends
-    — with errors that say which knob to drop or which backend to pick (see
+    ``"sharded"`` when ``shards`` is set, ``"process"`` when ``workers > 1``,
+    else ``"serial"``).  Knob/backend combinations are validated *up front*
+    — ``batch_size`` only applies to the batched backend, ``workers``/
+    ``chunksize`` only to the pool backends, ``shards``/``max_retries``/
+    ``heartbeat_interval`` only to the sharded supervisor — with errors that
+    say which knob to drop or which backend to pick (see
     :func:`repro.exec.executor.validate_backend_knobs`).
 
     ``kernels`` selects the sparse kernel tier (``"numpy"``/``"scipy"``/
@@ -429,11 +431,25 @@ class ExecutionSpec(_SpecBase):
     chunksize: int | None = None
     batch_size: int | None = None
     kernels: str | None = None
-    #: Per-trial soft time budget in seconds.  A trial whose wall-clock time
-    #: exceeds it is quarantined as an ``"error"`` record after the fact (the
-    #: solve is never interrupted mid-flight, so results stay deterministic).
-    #: Like every execution knob it is excluded from the campaign fingerprint.
+    #: Per-trial time budget in seconds.  Enforcement depends on the backend:
+    #: the ``sharded`` supervisor (and the ``process`` backend, which routes
+    #: through it whenever a timeout is set) *hard*-enforces the budget —
+    #: a worker whose current trial exceeds it is SIGKILL-ed and the trial
+    #: recorded as ``status="error"`` — while ``serial``/``thread``/
+    #: ``batched`` only apply the soft after-the-fact check from PR 7 (the
+    #: solve is never interrupted mid-flight, so a stuck kernel still wedges
+    #: those backends).  Like every execution knob it is excluded from the
+    #: campaign fingerprint.
     trial_timeout: float | None = None
+    #: Shard (worker-process) count for the ``sharded`` backend.  Setting it
+    #: with ``backend=None`` auto-selects ``"sharded"``.
+    shards: int | None = None
+    #: How many times a trial may crash its sharded worker before it is
+    #: quarantined as a poison ``"error"`` record (sharded backend only).
+    max_retries: int | None = None
+    #: Seconds between supervisor liveness polls of the shard heartbeat
+    #: files (sharded backend only).
+    heartbeat_interval: float | None = None
 
     def __post_init__(self):
         from repro.exec.executor import BACKENDS, validate_backend_knobs
@@ -447,10 +463,20 @@ class ExecutionSpec(_SpecBase):
         _check_float("trial_timeout", self.trial_timeout, minimum=0.0, allow_none=True)
         if self.trial_timeout is not None and self.trial_timeout <= 0.0:
             raise SpecError("trial_timeout", f"must be > 0, got {self.trial_timeout}")
+        _check_int("shards", self.shards, minimum=1, allow_none=True)
+        _check_int("max_retries", self.max_retries, minimum=1, allow_none=True)
+        _check_float("heartbeat_interval", self.heartbeat_interval,
+                     minimum=0.0, allow_none=True)
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0.0:
+            raise SpecError("heartbeat_interval",
+                            f"must be > 0, got {self.heartbeat_interval}")
         try:
             validate_backend_knobs(self.backend, workers=self.workers,
                                    chunksize=self.chunksize,
-                                   batch_size=self.batch_size)
+                                   batch_size=self.batch_size,
+                                   shards=self.shards,
+                                   max_retries=self.max_retries,
+                                   heartbeat_interval=self.heartbeat_interval)
         except ValueError as exc:
             if isinstance(exc, SpecError):
                 raise
@@ -469,7 +495,9 @@ class ExecutionSpec(_SpecBase):
     def executor_kwargs(self) -> dict:
         """Keyword arguments for :class:`repro.exec.executor.CampaignExecutor`."""
         return {"backend": self.backend, "workers": self.workers,
-                "chunksize": self.chunksize, "batch_size": self.batch_size}
+                "chunksize": self.chunksize, "batch_size": self.batch_size,
+                "shards": self.shards, "max_retries": self.max_retries,
+                "heartbeat_interval": self.heartbeat_interval}
 
 
 # ---------------------------------------------------------------------- #
