@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Drive the campaign service end-to-end from Python.
+
+This example starts a ``repro serve`` daemon on an ephemeral port, submits
+the same campaign twice (watching the second POST dedupe onto the first
+job), streams the job's live JSONL events, fetches the completed
+:class:`repro.results.CampaignResult`, and shuts the daemon down with a
+graceful SIGTERM drain.
+
+Everything below also works against a daemon you started yourself::
+
+    repro serve --store runs/ --port 8765 &
+    python examples/service_client.py http://127.0.0.1:8765
+
+With no argument the example is self-contained: it launches its own daemon
+on a temporary store and cleans up after itself.
+
+Run with:  python examples/service_client.py [url]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import ServiceClient
+
+#: A tiny campaign: 3 fault classes x 7 locations = 21 trials, ~1 s.
+CAMPAIGN = {
+    "problem": "poisson:8",
+    "inner_iterations": 10,
+    "max_outer": 30,
+    "stride": 6,
+}
+
+
+def start_daemon(store: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro serve`` on port 0; return (process, base url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--store", store, "--port", "0", "--max-jobs", "2"])
+    info_path = os.path.join(store, "_jobs", "daemon.json")
+    for _ in range(600):  # the daemon records its bound port once ready
+        try:
+            with open(info_path, "r", encoding="utf-8") as handle:
+                info = json.load(handle)
+            if info.get("pid") == proc.pid:
+                return proc, f"http://{info['host']}:{info['port']}"
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
+        time.sleep(0.05)
+    raise RuntimeError("daemon did not come up")
+
+
+def main() -> None:
+    daemon = None
+    if len(sys.argv) > 1:
+        client = ServiceClient(sys.argv[1])
+    else:
+        store = tempfile.mkdtemp(prefix="repro-service-demo-")
+        print(f"-- starting a daemon on a temporary store: {store}")
+        daemon, url = start_daemon(store)
+        client = ServiceClient(url)
+
+    try:
+        health = client.health()
+        print(f"-- daemon ok: version {health['version']}, "
+              f"max_jobs {health['max_jobs']}")
+
+        # POST the campaign; job identity is the content fingerprint.
+        record = client.submit(CAMPAIGN)
+        print(f"-- submitted job {record['job_id']} ({record['status']})")
+
+        # The same spec POSTs onto the *same* job — no duplicate run.
+        again = client.submit(CAMPAIGN)
+        assert again["job_id"] == record["job_id"]
+        print(f"-- resubmit deduped (submissions={again['submissions']})")
+
+        # Stream the job's JSONL events: full replay + live until terminal.
+        trials = 0
+        for event in client.events(record["job_id"]):
+            if event["kind"] == "trial_completed":
+                trials += 1
+            elif event["kind"] in ("campaign_completed", "job_update"):
+                print(f"-- event: {event['kind']}")
+        print(f"-- streamed {trials} trial_completed events")
+
+        # Fetch the stored CampaignResult of the completed job.
+        payload = client.result(record["job_id"])
+        result = payload["result"]
+        print(f"-- result: {len(result['trials'])} trials on "
+              f"{result['problem_name']}, failure-free baseline "
+              f"{result['failure_free_outer']} outer iterations")
+    finally:
+        if daemon is not None:
+            print("-- SIGTERM: the daemon drains workers, then exits")
+            daemon.send_signal(signal.SIGTERM)
+            daemon.wait(timeout=60)
+
+
+if __name__ == "__main__":
+    main()

@@ -84,7 +84,7 @@ from repro.precond import (
     SSORPreconditioner,
 )
 from repro import api, registry, results, specs
-from repro.api import solve, run_campaign, iter_trials
+from repro.api import solve, run_campaign, iter_trials, serve
 from repro.results import (
     Event,
     EventSink,
@@ -92,7 +92,8 @@ from repro.results import (
     RunStoreError,
     TrialQuery,
 )
-from repro.specs import SolveSpec, ExecutionSpec, CampaignSpec, SpecError, spec_hash
+from repro.specs import (SolveSpec, ExecutionSpec, CampaignSpec, ServiceSpec,
+                         SpecError, spec_hash)
 
 __version__ = "1.1.0"
 
@@ -157,8 +158,10 @@ __all__ = [
     "SolveSpec",
     "ExecutionSpec",
     "CampaignSpec",
+    "ServiceSpec",
     "SpecError",
     "spec_hash",
+    "serve",
     # streaming results subsystem
     "results",
     "iter_trials",

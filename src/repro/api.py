@@ -39,15 +39,18 @@ from repro.registry import ResolveContext, registry, resolve_problem, resolve_si
 from repro.results.events import ensure_sink
 from repro.results.query import TrialQuery
 from repro.results.store import RunManifest, RunStore, RunStoreError
-from repro.specs import CampaignSpec, ExecutionSpec, SolveSpec, SpecError
+from repro.specs import (CampaignSpec, ExecutionSpec, ServiceSpec, SolveSpec,
+                         SpecError)
 
 __all__ = [
     "solve",
     "run_campaign",
     "iter_trials",
+    "serve",
     "SolveSpec",
     "ExecutionSpec",
     "CampaignSpec",
+    "ServiceSpec",
     "SpecError",
     "SolverResult",
     "NestedSolverResult",
@@ -203,6 +206,26 @@ def iter_trials(problem=None, spec=None, **overrides):
     exec_kwargs = spec.exec.executor_kwargs()
     for _, record in campaign.iter_records(plan.specs, **exec_kwargs):
         yield record
+
+
+def serve(store, spec=None, **overrides) -> int:
+    """Run the campaign service daemon over a run store (blocking).
+
+    The imperative facade of :mod:`repro.service`: accepts CampaignSpecs
+    over HTTP/JSONL (``POST /jobs``), schedules up to ``max_jobs`` of them
+    concurrently through :func:`run_campaign`'s store/resume path, and
+    streams live events to subscribers.  ``spec`` is a
+    :class:`~repro.specs.ServiceSpec` (or dict / keyword fields — ``host``,
+    ``port``, ``max_jobs``, ``poll_interval``, ``drain_grace``).
+
+    Blocks until stopped (SIGTERM/SIGINT drains running campaigns and
+    re-queues them for the next daemon); returns the process exit status.
+    Equivalent to the ``repro serve`` CLI subcommand.
+    """
+    from repro.service.server import ServiceDaemon
+
+    return ServiceDaemon(RunStore.coerce(store),
+                         ServiceSpec.coerce(spec, **overrides)).serve()
 
 
 # ---------------------------------------------------------------------- #

@@ -19,6 +19,7 @@ from repro.exec.spec import CampaignConfig, ProblemFactory, TrialSpec
 from repro.exec.supervisor import (
     DEFAULT_HEARTBEAT_INTERVAL,
     DEFAULT_MAX_RETRIES,
+    EXIT_DRAINED,
     ShardedSupervisor,
     SupervisorDrained,
     partition_shards,
@@ -30,6 +31,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_MAX_RETRIES",
+    "EXIT_DRAINED",
     "CampaignExecutor",
     "CampaignConfig",
     "ProblemFactory",

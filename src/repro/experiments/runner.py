@@ -47,6 +47,10 @@ Persistence (the results subsystem):
 Runs are keyed by a deterministic id (experiment, panel, and the campaign
 spec's fingerprint), so the same configuration always finds its own store
 entry and a changed configuration gets a fresh one.
+
+The campaign service (:mod:`repro.service`) shares this console command:
+``repro serve --store runs/`` starts the daemon, and ``repro
+submit/jobs/watch/cancel/result/runs`` talk to it (see that module's docs).
 """
 
 from __future__ import annotations
@@ -74,6 +78,14 @@ from repro.specs import CampaignSpec, SpecError, apply_overrides, parse_override
 __all__ = ["main", "build_parser", "run_experiment", "build_campaign_spec"]
 
 EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "summary")
+
+
+def _service_commands() -> tuple[str, ...]:
+    """The service subcommand names (import deferred: the runner must not
+    pay for the service stack on every experiment invocation)."""
+    from repro.service.client import SERVICE_COMMANDS
+
+    return SERVICE_COMMANDS
 
 #: Outer-iteration budgets per problem used by the sweep experiments (applied
 #: only when neither ``--config`` nor ``--set`` chooses ``max_outer``).
@@ -387,7 +399,20 @@ def run_experiment(name: str, problems, args) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    The campaign-service subcommands (``repro serve/submit/jobs/watch/
+    cancel/result/runs``) are dispatched to :mod:`repro.service.client`
+    before the experiment parser sees the argv — one console command covers
+    both the artifact runner and the service.
+    """
+    import sys as _sys
+
+    argv = list(_sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _service_commands():
+        from repro.service.client import service_main
+
+        return service_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.kernels is not None:

@@ -697,11 +697,28 @@ def backend_knobs(name: str) -> tuple:
 
 # ------------------------------- sinks -------------------------------- #
 @register("sink", "jsonl", positional=("path",))
-def _build_jsonl_sink(ctx, path="runs"):
-    """Append events as JSON lines under ``path`` (``--sink jsonl:runs/``)."""
+def _build_jsonl_sink(ctx, path="runs", flush=True):
+    """Append events as JSON lines under ``path`` (``--sink jsonl:runs/``).
+
+    ``flush`` (default on) makes each event durable and visible to live
+    readers as it happens; ``{"name": "jsonl", "flush": false}`` opts into
+    buffered writes.  String forms of the flag ("false"/"0"/"no") coerce,
+    so dict specs read from JSON config files behave either way.
+    """
     from repro.results.events import JsonlEventSink
 
-    return JsonlEventSink(path)
+    if isinstance(flush, str):
+        flush = flush.strip().lower() not in ("0", "false", "no", "off")
+    return JsonlEventSink(path, flush=bool(flush))
+
+
+@register("sink", "broadcast", positional=("maxsize",))
+def _build_broadcast_sink(ctx, maxsize=256):
+    """Fan events out to live subscribers with bounded queues (the campaign
+    service's ``GET /events`` bus; see :mod:`repro.service.streams`)."""
+    from repro.service.streams import BroadcastSink
+
+    return BroadcastSink(default_maxsize=int(maxsize))
 
 
 @register("sink", "memory", aliases=("collect",))

@@ -33,6 +33,7 @@ from repro.results.store import (
     RunStore,
     RunStoreError,
     RunWriter,
+    StoreLock,
     campaign_fingerprint,
 )
 
@@ -52,5 +53,6 @@ __all__ = [
     "RunStore",
     "RunStoreError",
     "RunWriter",
+    "StoreLock",
     "campaign_fingerprint",
 ]

@@ -56,7 +56,7 @@ from typing import Any
 
 from repro.results.query import TrialQuery
 
-__all__ = ["RunStoreError", "RunManifest", "RunWriter", "RunStore",
+__all__ = ["RunStoreError", "RunManifest", "RunWriter", "RunStore", "StoreLock",
            "campaign_fingerprint", "read_trial_file", "shard_dir_name"]
 
 _MANIFEST = "manifest.json"
@@ -218,6 +218,82 @@ class RunWriter:
         self.close()
 
 
+class StoreLock:
+    """A cross-process advisory lock on a store directory (``flock``-based).
+
+    Guards read-modify-write cycles that span processes — the campaign
+    service's job submissions and state transitions all happen under one of
+    these, so two clients racing to submit the same spec serialize onto a
+    single durable job record.  Locks are *advisory*: nothing stops a writer
+    that does not take the lock (the store's append-only trial files never
+    need it).
+
+    Use as a context manager, or ``acquire(blocking=False)`` /
+    ``acquire(timeout=...)`` for try-lock semantics.  ``release`` explicitly
+    unlocks before closing the file so a child process that inherited the
+    open description across ``fork`` cannot keep the lock alive.  On
+    platforms without ``fcntl`` the lock degrades to a no-op (single-host
+    POSIX is the supported service deployment).
+    """
+
+    def __init__(self, directory, *, name: str = ".lock"):
+        self.path = os.path.join(str(directory), name)
+        self._handle = None
+
+    def acquire(self, *, blocking: bool = True, timeout: float | None = None) -> bool:
+        """Take the lock; returns False only for a failed non-blocking try."""
+        if self._handle is not None:
+            raise RunStoreError(f"lock {self.path} is already held by this object")
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        handle = open(self.path, "a+")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            self._handle = handle
+            return True
+        try:
+            if blocking and timeout is None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            else:
+                import time as _time
+
+                deadline = _time.monotonic() + (timeout or 0.0)
+                while True:
+                    try:
+                        fcntl.flock(handle.fileno(),
+                                    fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if _time.monotonic() >= deadline:
+                            handle.close()
+                            return False
+                        _time.sleep(0.01)
+        except Exception:
+            handle.close()
+            raise
+        self._handle = handle
+        return True
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        try:
+            import fcntl
+
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except (ImportError, OSError):  # pragma: no cover
+            pass
+        handle.close()
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
 class RunStore:
     """A directory of persisted campaign runs (see the module docstring)."""
 
@@ -256,6 +332,47 @@ class RunStore:
             return []
         return sorted(name for name in os.listdir(self.root)
                       if os.path.isfile(os.path.join(self.root, name, _MANIFEST)))
+
+    def list_runs(self) -> list[dict]:
+        """One summary row per stored run, sorted by run id.
+
+        Each row carries the manifest identity plus live trial progress::
+
+            {"run_id", "status", "spec_hash", "problem_name", "created_at",
+             "trials_done", "total_trials", "shards"}
+
+        ``trials_done`` counts indices whose latest record is successful
+        (error records — crashes, timeouts — read as still missing, matching
+        :meth:`completed_indices`); a run whose trial files are unreadable
+        reports ``status="corrupt"`` instead of raising, so one damaged run
+        cannot hide the rest of the store from ``repro runs`` or the
+        service's job listing.
+        """
+        rows = []
+        for run_id in self.run_ids():
+            try:
+                manifest = self.manifest(run_id)
+            except RunStoreError:
+                rows.append({"run_id": run_id, "status": "corrupt",
+                             "spec_hash": None, "problem_name": None,
+                             "created_at": None, "trials_done": None,
+                             "total_trials": None, "shards": 0})
+                continue
+            try:
+                done = len(self.completed_indices(run_id))
+            except RunStoreError:
+                done = None
+            rows.append({
+                "run_id": run_id,
+                "status": manifest.status if done is not None else "corrupt",
+                "spec_hash": manifest.spec_hash,
+                "problem_name": manifest.problem_name,
+                "created_at": manifest.created_at,
+                "trials_done": done,
+                "total_trials": manifest.total_trials,
+                "shards": len(self.shard_ids(run_id)),
+            })
+        return rows
 
     # ------------------------------------------------------------------ #
     # manifests

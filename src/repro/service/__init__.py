@@ -1,0 +1,51 @@
+"""The long-running campaign service (``repro serve``).
+
+A scheduler + HTTP/JSONL API layered on the existing machinery: campaign
+specs and fingerprints (:mod:`repro.specs`), the durable run store and its
+resume contract (:mod:`repro.results.store`), and the crash-isolated
+execution backends up to the sharded supervisor (:mod:`repro.exec`).  The
+daemon itself keeps no private state — jobs are content-addressed records
+inside the store — so it can be SIGKILL-ed and restarted at any time and
+every campaign resumes exactly its missing trials.
+
+Layout:
+
+* :mod:`repro.service.scheduler` — durable job records, the forked
+  campaign workers, and the bounded FIFO scheduler.
+* :mod:`repro.service.server` — the stdlib HTTP daemon and its endpoints.
+* :mod:`repro.service.streams` — live event fan-out (file tailing + the
+  in-process broadcast bus).
+* :mod:`repro.service.client` — the urllib client and the CLI subcommands
+  (``repro serve/submit/jobs/watch/cancel/result/runs``).
+"""
+
+from repro.service.client import (SERVICE_COMMANDS, ServiceClient,
+                                  ServiceError, service_main)
+from repro.service.scheduler import (JOB_STATES, TERMINAL_STATES,
+                                     CampaignScheduler, JobError, JobRecord,
+                                     JobStore, job_fingerprint)
+from repro.service.server import (ServiceDaemon, ServiceStartupError,
+                                  read_daemon_info)
+from repro.service.streams import (BroadcastSink, Subscription,
+                                   run_events_path, tail_jsonl)
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "SERVICE_COMMANDS",
+    "BroadcastSink",
+    "CampaignScheduler",
+    "JobError",
+    "JobRecord",
+    "JobStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceStartupError",
+    "Subscription",
+    "job_fingerprint",
+    "read_daemon_info",
+    "run_events_path",
+    "service_main",
+    "tail_jsonl",
+]

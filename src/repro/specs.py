@@ -31,6 +31,7 @@ __all__ = [
     "SolveSpec",
     "ExecutionSpec",
     "CampaignSpec",
+    "ServiceSpec",
     "apply_overrides",
     "parse_override_value",
     "spec_hash",
@@ -647,6 +648,68 @@ class CampaignSpec(_SpecBase):
         """Write the campaign spec to a JSON file."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
+
+
+# ---------------------------------------------------------------------- #
+# ServiceSpec
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServiceSpec(_SpecBase):
+    """Configuration of the long-running campaign service (``repro serve``).
+
+    The service (:mod:`repro.service`) binds an HTTP/JSONL API to
+    ``host:port`` (``port=0`` binds an ephemeral port; the bound address is
+    recorded in ``<store>/_jobs/daemon.json``), runs at most ``max_jobs``
+    campaigns concurrently, and polls its scheduler every ``poll_interval``
+    seconds.  On shutdown (SIGTERM/SIGINT) running campaigns get
+    ``drain_grace`` seconds to drain at a trial boundary before they are
+    killed; either way their jobs re-queue and a restarted daemon resumes
+    exactly the missing trials.
+
+    Like every execution-layer knob, none of these fields participate in
+    job or campaign fingerprints.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    max_jobs: int = 2
+    poll_interval: float = 0.05
+    drain_grace: float = 10.0
+
+    def __post_init__(self):
+        if not isinstance(self.host, str) or not self.host.strip():
+            raise SpecError("host", f"expected a non-empty string, got {self.host!r}")
+        _check_int("port", self.port, minimum=0)
+        if self.port > 65535:
+            raise SpecError("port", f"must be <= 65535, got {self.port}")
+        _check_int("max_jobs", self.max_jobs, minimum=1)
+        _check_float("poll_interval", self.poll_interval, minimum=0.0)
+        if self.poll_interval <= 0.0:
+            raise SpecError("poll_interval", f"must be > 0, got {self.poll_interval}")
+        _check_float("drain_grace", self.drain_grace, minimum=0.0)
+
+    @classmethod
+    def coerce(cls, spec=None, **overrides) -> "ServiceSpec":
+        """Build a ServiceSpec from a spec, a dict, or keyword fields."""
+        if spec is None:
+            return cls.from_dict(overrides) if overrides else cls()
+        if isinstance(spec, cls):
+            return spec.replace(**overrides) if overrides else spec
+        if isinstance(spec, dict):
+            return cls.from_dict({**spec, **overrides})
+        raise SpecError("service", f"expected a ServiceSpec or dict, "
+                                   f"got {type(spec).__name__}")
+
+    @classmethod
+    def from_dict(cls, data: dict, *, _prefix: str = "") -> "ServiceSpec":
+        if not isinstance(data, dict):
+            raise SpecError(_prefix or "service",
+                            f"expected a dict, got {type(data).__name__}")
+        _reject_unknown_keys(cls, data, _prefix)
+        return _construct_with_prefix(cls, data, _prefix)
+
+    def to_dict(self) -> dict:
+        return self._compact_dict()
 
 
 # ---------------------------------------------------------------------- #
