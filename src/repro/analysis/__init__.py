@@ -1,0 +1,46 @@
+"""Project-native static analysis (``repro lint``).
+
+An AST-based checker framework plus five self-hosting rules that encode
+this repository's cross-cutting contracts:
+
+========  =========================  ==========================================
+rule id   name                       contract
+========  =========================  ==========================================
+RPR001    atomic-durability          durable writes go through
+                                     :func:`repro.utils.io.atomic_write_json`;
+                                     manifest read-modify-write under StoreLock
+RPR002    determinism                no wall clock / unseeded RNG /
+                                     set-iteration in trial-identity modules
+RPR003    registry-spec-coherence    registry entries bind, specs round-trip,
+                                     fingerprint covers every field, CLI flag
+                                     table agrees with the parser and specs
+RPR004    event-kind-exhaustiveness  every emitted event kind is declared in
+                                     EVENT_KINDS (and vice versa)
+RPR005    fork-lock-safety           no threads in forking modules; flock
+                                     acquire/release pairing
+========  =========================  ==========================================
+
+Entry points: ``repro lint``, ``python -m repro.analysis``, or
+:func:`run_lint` from code.  Suppress one finding with a line-scoped
+``# repro: allow(RPRnnn)`` pragma; grandfather legacy findings in a
+committed ``lint-baseline.json``.
+"""
+
+from repro.analysis.core import (LintReport, Project, ProjectRule, Rule,
+                                 SourceFile, all_rules, default_target,
+                                 load_baseline, run_lint)
+from repro.analysis.findings import SEVERITIES, Finding
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "ProjectRule",
+    "LintReport",
+    "all_rules",
+    "default_target",
+    "load_baseline",
+    "run_lint",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — same front end as ``repro lint``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,62 @@
+"""Small AST helpers shared by the :mod:`repro.analysis` rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["dotted_name", "call_name", "str_const", "walk_calls",
+           "keyword_arg", "contains_attr"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call invokes (``json.dump``, ``open``), else None."""
+    return dotted_name(node.func)
+
+
+def str_const(node: ast.AST | None) -> str | None:
+    """The value of a string literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every :class:`ast.Call` in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def keyword_arg(node: ast.Call, name: str) -> ast.AST | None:
+    """The value node of keyword ``name`` in a call, else ``None``."""
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def contains_attr(node: ast.AST, attr: str) -> bool:
+    """Whether any Attribute/Name inside ``node`` is named ``attr``.
+
+    Used to classify ``fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)``
+    style flag expressions without evaluating them.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == attr:
+            return True
+        if isinstance(sub, ast.Name) and sub.id == attr:
+            return True
+    return False

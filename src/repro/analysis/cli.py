@@ -1,0 +1,107 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean (or everything suppressed/baselined), 1 active
+findings remain, 2 usage error (bad path, malformed baseline, unknown
+rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis.core import all_rules, default_target, run_lint
+from repro.utils.io import atomic_write_json
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the repro project static-analysis rules.")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="directory or file to scan "
+                             "(default: src/repro under the cwd, else the "
+                             "installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write every current finding to FILE as a new "
+                             "baseline and exit 0")
+    parser.add_argument("--rules", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",")
+                  if part.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    target = args.target or default_target()
+    if not os.path.exists(target):
+        print(f"no such file or directory: {target}", file=sys.stderr)
+        return 2
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline and args.write_baseline is None:
+        candidate = os.path.join(os.getcwd(), DEFAULT_BASELINE)
+        if os.path.isfile(candidate):
+            baseline = candidate
+    if args.no_baseline:
+        baseline = None
+
+    try:
+        report = run_lint(target, rules=rules, baseline=baseline)
+    except (OSError, ValueError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        entries = [{"rule": f.rule, "file": f.file, "message": f.message}
+                   for f in report.findings if not f.suppressed]
+        atomic_write_json(args.write_baseline,
+                          {"version": 1, "findings": entries},
+                          indent=2, sort_keys=True)
+        print(f"wrote {len(entries)} baseline entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,348 @@
+"""Checker framework: source model, rule protocol, pragma + baseline logic.
+
+The framework walks a Python source tree, parses each file once, and runs
+two kinds of rules over it:
+
+* **AST rules** (:class:`Rule` with :meth:`Rule.check_file`) inspect one
+  file at a time through its parsed ``ast`` tree.  Path filters
+  (:meth:`Rule.applies_to`) scope a rule to the modules whose contract it
+  enforces.
+* **Project rules** (:class:`ProjectRule`) see the whole
+  :class:`Project` at once — and may import the library under analysis to
+  check *semantic* coherence (registry entries resolve, spec fingerprints
+  cover every field) that no purely syntactic pass can establish.
+
+Suppression is line-scoped: a ``# repro: allow(RPR001)`` comment anywhere
+on the physical line a finding points at marks that finding suppressed
+(``allow(*)`` suppresses every rule).  Suppressed findings are still
+reported — visibly, so pragmas stay auditable — but do not fail the gate.
+
+Grandfathered findings live in a committed JSON baseline file keyed by
+``(rule, file, message)``; see :func:`load_baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.analysis.findings import SEVERITIES, Finding
+
+__all__ = [
+    "SourceFile",
+    "Project",
+    "Rule",
+    "ProjectRule",
+    "LintReport",
+    "run_lint",
+    "load_baseline",
+    "default_target",
+    "PRAGMA_RE",
+]
+
+#: ``# repro: allow(RPR001)`` / ``# repro: allow(RPR001, RPR002)`` /
+#: ``# repro: allow(*)``
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_*,\s]+?)\s*\)")
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its pragma map."""
+
+    path: str          # absolute path on disk
+    rel: str           # path relative to the scan base, '/'-separated
+    text: str
+    tree: ast.AST
+    #: line number -> set of allowed rule ids ('*' allows everything)
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, rel: str) -> "SourceFile":
+        with tokenize.open(path) as handle:
+            text = handle.read()
+        tree = ast.parse(text, filename=rel)
+        pragmas: dict[int, set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = PRAGMA_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")
+                         if part.strip()}
+                pragmas.setdefault(lineno, set()).update(rules)
+        return cls(path=path, rel=rel, text=text, tree=tree, pragmas=pragmas)
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        allowed = self.pragmas.get(line)
+        if not allowed:
+            return False
+        return "*" in allowed or rule_id in allowed
+
+
+@dataclass
+class Project:
+    """The scanned tree: scan base directory plus parsed files."""
+
+    base: str                      # directory rel paths are relative to
+    files: list[SourceFile]
+    #: parse failures as (rel, message) — reported as findings by the runner
+    broken: list[tuple[str, str]] = field(default_factory=list)
+
+    def file(self, rel: str) -> SourceFile | None:
+        for src in self.files:
+            if src.rel == rel:
+                return src
+        return None
+
+    @classmethod
+    def scan(cls, target: str) -> "Project":
+        """Parse every ``*.py`` under ``target`` (a dir or single file).
+
+        Relative paths are computed against the *parent* of the target
+        directory, so scanning ``.../src/repro`` yields ``repro/...``
+        paths no matter where the checkout lives.
+        """
+        target = os.path.abspath(target)
+        if os.path.isfile(target):
+            base = os.path.dirname(os.path.dirname(target)) or os.sep
+            paths = [target]
+        else:
+            base = os.path.dirname(target) or os.sep
+            paths = []
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in ("__pycache__",))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        paths.append(os.path.join(dirpath, name))
+        files: list[SourceFile] = []
+        broken: list[tuple[str, str]] = []
+        for path in paths:
+            rel = os.path.relpath(path, base).replace(os.sep, "/")
+            try:
+                files.append(SourceFile.parse(path, rel))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                broken.append((rel, f"{type(exc).__name__}: {exc}"))
+        return cls(base=base, files=files, broken=broken)
+
+
+class Rule:
+    """Base class for per-file AST rules.
+
+    Subclasses set ``id`` (``RPRnnn``), ``name``, ``description``, and
+    implement :meth:`check_file`.  ``severity`` is the default severity
+    for findings created through :meth:`finding`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this rule scans the file at scan-relative path ``rel``."""
+        return True
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, src: SourceFile, node: ast.AST | None, message: str,
+                *, severity: str | None = None,
+                **data: Any) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            file=src.rel,
+            line=line,
+            col=col,
+            message=message,
+            data=dict(data) if data else {},
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole project at once (may import the
+    library under analysis for semantic checks)."""
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def project_finding(self, rel: str, line: int, message: str,
+                        *, severity: str | None = None,
+                        **data: Any) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            file=rel,
+            line=max(int(line), 1),
+            col=0,
+            message=message,
+            data=dict(data) if data else {},
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    target: str
+    files_scanned: int
+    findings: list[Finding]
+    rules: list[Rule]
+    baseline_path: str | None = None
+    #: baseline entries that no longer match any finding (stale)
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        severities = {sev: sum(1 for f in self.findings if f.severity == sev)
+                      for sev in SEVERITIES}
+        return {
+            "version": 1,
+            "target": self.target,
+            "rules": [{"id": r.id, "name": r.name,
+                       "description": r.description} for r in self.rules],
+            "summary": {
+                "files": self.files_scanned,
+                "findings": len(self.findings),
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "severities": severities,
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        summary = (f"{self.files_scanned} files scanned; "
+                   f"{len(self.findings)} findings "
+                   f"({len(self.active)} active, "
+                   f"{len(self.suppressed)} suppressed, "
+                   f"{len(self.baselined)} baselined)")
+        for key in self.stale_baseline:
+            lines.append(f"stale baseline entry: {key[0]} {key[1]}: {key[2]}")
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """Load the baseline file: ``{"findings": [{rule, file, message}, ...]}``.
+
+    Tolerates the flat-list form ``[{...}, ...]`` as well.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    keys: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            keys.add((str(entry["rule"]), str(entry["file"]),
+                      str(entry["message"])))
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"malformed baseline entry in {path}: {entry!r}") from exc
+    return keys
+
+
+def default_target() -> str:
+    """The tree ``repro lint`` scans when no path is given.
+
+    Prefers ``src/repro`` under the current directory (the checkout
+    layout); falls back to the installed package directory.
+    """
+    candidate = os.path.join(os.getcwd(), "src", "repro")
+    if os.path.isdir(candidate):
+        return candidate
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def all_rules() -> list[Rule]:
+    """The registered rule set, RPR001..RPR005, in id order."""
+    from repro.analysis.rules import RULES
+
+    return [cls() for cls in RULES]
+
+
+def run_lint(
+    target: str | None = None,
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: str | None = None,
+) -> LintReport:
+    """Scan ``target`` (default: the repro source tree) with ``rules``.
+
+    Returns a :class:`LintReport`; ``report.exit_code`` is 1 when any
+    active (non-suppressed, non-baselined, error-severity) finding
+    remains.
+    """
+    target = os.path.abspath(target or default_target())
+    active_rules = list(rules) if rules is not None else all_rules()
+    project = Project.scan(target)
+
+    findings: list[Finding] = []
+    for rel, message in project.broken:
+        findings.append(Finding(rule="RPR000", severity="error", file=rel,
+                                line=1, col=0,
+                                message=f"file does not parse: {message}"))
+    for rule in active_rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+        for src in project.files:
+            if rule.applies_to(src.rel):
+                findings.extend(rule.check_file(src))
+
+    # Line-scoped pragma suppression.
+    resolved: list[Finding] = []
+    for finding in findings:
+        src = project.file(finding.file)
+        if src is not None and src.allows(finding.rule, finding.line):
+            finding = finding.with_flags(suppressed=True)
+        resolved.append(finding)
+
+    # Baseline matching.
+    baseline_keys: set[tuple[str, str, str]] = set()
+    if baseline:
+        baseline_keys = load_baseline(baseline)
+    matched: set[tuple[str, str, str]] = set()
+    final: list[Finding] = []
+    for finding in resolved:
+        key = finding.baseline_key()
+        if not finding.suppressed and key in baseline_keys:
+            finding = finding.with_flags(baselined=True)
+            matched.add(key)
+        final.append(finding)
+    stale = sorted(baseline_keys - matched)
+
+    final.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return LintReport(
+        target=target,
+        files_scanned=len(project.files),
+        findings=final,
+        rules=active_rules,
+        baseline_path=baseline,
+        stale_baseline=stale,
+    )

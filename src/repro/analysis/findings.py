@@ -1,0 +1,91 @@
+"""Finding records produced by the :mod:`repro.analysis` checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognised severities, most severe first.  ``error`` findings fail the
+#: lint gate; ``warning`` findings are reported but never change the exit
+#: code.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``file`` is a path relative to the scan base (``repro/...`` when the
+    installed package tree is scanned) so that baselines and JSON output
+    are stable across checkouts and working directories.
+    """
+
+    rule: str
+    severity: str
+    file: str
+    line: int
+    col: int
+    message: str
+    #: Set when a ``# repro: allow(<rule>)`` pragma on the finding's line
+    #: suppressed it.
+    suppressed: bool = False
+    #: Set when the committed baseline file grandfathers the finding.
+    baselined: bool = False
+    #: Free-form extra context for the JSON report.
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    @property
+    def active(self) -> bool:
+        """True when the finding counts against the exit code."""
+        return self.severity == "error" and not (self.suppressed or self.baselined)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used to match baseline entries.
+
+        Deliberately excludes the line number so that unrelated edits above
+        a grandfathered finding do not un-baseline it.
+        """
+        return (self.rule, self.file, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+        if self.baselined:
+            out["baselined"] = True
+        if self.data:
+            out["data"] = dict(self.data)
+        return out
+
+    def with_flags(self, *, suppressed: bool | None = None,
+                   baselined: bool | None = None) -> "Finding":
+        kwargs: dict[str, bool] = {}
+        if suppressed is not None:
+            kwargs["suppressed"] = suppressed
+        if baselined is not None:
+            kwargs["baselined"] = baselined
+        return replace(self, **kwargs) if kwargs else self
+
+    def render(self) -> str:
+        """One-line human rendering (``file:line:col RULE message``)."""
+        flags = ""
+        if self.suppressed:
+            flags = " [suppressed]"
+        elif self.baselined:
+            flags = " [baselined]"
+        return (f"{self.file}:{self.line}:{self.col} "
+                f"{self.rule} {self.severity}: {self.message}{flags}")

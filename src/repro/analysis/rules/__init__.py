@@ -1,0 +1,23 @@
+"""The project-specific rule set, RPR001–RPR005.
+
+``RULES`` is the registered rule order the framework instantiates; keep it
+sorted by rule id so reports and the README table stay aligned.
+"""
+
+from repro.analysis.rules.coherence import RegistrySpecCoherenceRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.durability import AtomicDurabilityRule
+from repro.analysis.rules.eventkinds import EventKindExhaustivenessRule
+from repro.analysis.rules.forklock import ForkLockSafetyRule
+
+__all__ = ["RULES", "AtomicDurabilityRule", "DeterminismRule",
+           "RegistrySpecCoherenceRule", "EventKindExhaustivenessRule",
+           "ForkLockSafetyRule"]
+
+RULES = (
+    AtomicDurabilityRule,     # RPR001
+    DeterminismRule,          # RPR002
+    RegistrySpecCoherenceRule,  # RPR003
+    EventKindExhaustivenessRule,  # RPR004
+    ForkLockSafetyRule,       # RPR005
+)

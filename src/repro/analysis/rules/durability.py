@@ -1,0 +1,172 @@
+"""RPR001 — atomic durability in store/service/supervisor modules.
+
+The crash-safety story (resume, supervisor restart, daemon SIGKILL
+recovery) rests on every durable JSON record reaching disk through the
+atomic tmp + ``os.replace`` pattern, concentrated in
+:func:`repro.utils.io.atomic_write_json`, and on cross-process
+read-modify-write cycles running under a
+:class:`~repro.results.store.StoreLock`.  This rule patrols the modules
+that own durable state:
+
+* ``repro/results/store.py``
+* ``repro/exec/supervisor.py``
+* everything under ``repro/service/``
+
+and flags:
+
+* truncating ``open(..., "w"/"x")`` calls whose target is not an obvious
+  ``*.tmp`` sibling (append modes are the JSONL contract and are fine);
+* any direct ``json.dump`` — serialization must go through the helper so
+  the replace discipline cannot be forgotten half of the time;
+* functions that both read and write a durable record with any of those
+  calls outside a ``with <...lock...>():`` block (the lost-update shape).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import call_name, dotted_name, keyword_arg, str_const
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding
+
+__all__ = ["AtomicDurabilityRule"]
+
+#: Exact files / directory prefixes with durable-write responsibilities.
+DURABLE_FILES = ("repro/results/store.py", "repro/exec/supervisor.py")
+DURABLE_PREFIXES = ("repro/service/",)
+
+#: Method names that read a durable record (manifest, job record, trials).
+READ_VERBS = frozenset({"read", "manifest", "read_trials", "load"})
+#: Method names that persist a durable record.
+WRITE_VERBS = frozenset({"write", "write_manifest", "_write_manifest", "save"})
+
+
+def _is_tmp_target(node: ast.AST | None) -> bool:
+    """Whether an ``open()`` target is recognizably a ``.tmp`` sibling."""
+    if node is None:
+        return False
+    name = dotted_name(node)
+    if name is not None and "tmp" in name.lower():
+        return True
+    literal = str_const(node)
+    if literal is not None and ".tmp" in literal:
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return any(".tmp" in part.value for part in node.values
+                   if isinstance(part, ast.Constant)
+                   and isinstance(part.value, str))
+    if isinstance(node, ast.BinOp):
+        return _is_tmp_target(node.left) or _is_tmp_target(node.right)
+    if isinstance(node, ast.Call):
+        # os.path.join(..., "x.tmp") and friends.
+        return any(_is_tmp_target(arg) for arg in node.args)
+    return False
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call ("r" when omitted)."""
+    mode = keyword_arg(node, "mode")
+    if mode is None and len(node.args) >= 2:
+        mode = node.args[1]
+    if mode is None:
+        return "r"
+    return str_const(mode)
+
+
+class AtomicDurabilityRule(Rule):
+    id = "RPR001"
+    name = "atomic-durability"
+    description = ("durable writes must go through atomic_write_json / "
+                   "tmp+os.replace; durable RMW cycles must hold a StoreLock")
+
+    def applies_to(self, rel: str) -> bool:
+        return rel in DURABLE_FILES or any(rel.startswith(p)
+                                           for p in DURABLE_PREFIXES)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(src, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_rmw(src, node))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    def _check_call(self, src: SourceFile, node: ast.Call) -> Iterable[Finding]:
+        name = call_name(node)
+        if name == "open":
+            mode = _open_mode(node)
+            if mode is None:
+                return  # dynamic mode: cannot judge statically
+            if any(ch in mode for ch in "wx"):
+                target = node.args[0] if node.args else None
+                if not _is_tmp_target(target):
+                    yield self.finding(
+                        src, node,
+                        f"truncating open(mode={mode!r}) on a durable path; "
+                        f"write a '.tmp' sibling and os.replace() it — or "
+                        f"use repro.utils.io.atomic_write_json")
+        elif name == "json.dump":
+            yield self.finding(
+                src, node,
+                "json.dump to a live handle in a durability-critical module; "
+                "route the record through repro.utils.io.atomic_write_json "
+                "(json.dumps into an append-only JSONL stream is the other "
+                "blessed pattern)")
+
+    # ------------------------------------------------------------------ #
+    def _check_rmw(self, src: SourceFile,
+                   func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[Finding]:
+        """Flag read+write method pairs not fully under a lock context."""
+        reads: list[tuple[ast.Call, bool]] = []
+        writes: list[tuple[ast.Call, bool]] = []
+
+        def visit(node: ast.AST, under_lock: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Lambda, ast.ClassDef)):
+                    continue  # nested scopes are analyzed on their own
+                locked = under_lock
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    if any(self._is_lock_expr(item.context_expr)
+                           for item in child.items):
+                        locked = True
+                if isinstance(child, ast.Call):
+                    verb = self._method_verb(child)
+                    if verb in READ_VERBS:
+                        reads.append((child, locked))
+                    elif verb in WRITE_VERBS:
+                        writes.append((child, locked))
+                visit(child, locked)
+
+        visit(func, False)
+        if not reads or not writes:
+            return
+        unlocked = [call for call, locked in reads + writes if not locked]
+        if not unlocked:
+            return
+        verbs = sorted({self._method_verb(call) for call in unlocked})
+        yield self.finding(
+            src, func,
+            f"{func.name}() reads and rewrites a durable record but "
+            f"{'/'.join(str(v) for v in verbs)} runs outside a lock "
+            f"context; wrap the read-modify-write in `with <StoreLock>:` "
+            f"so concurrent writers cannot lose updates")
+
+    @staticmethod
+    def _method_verb(node: ast.Call) -> str | None:
+        """The method name of an attribute call (``self.read(...)`` -> read)."""
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    @staticmethod
+    def _is_lock_expr(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            return name is not None and "lock" in name.lower()
+        name = dotted_name(expr)
+        return name is not None and "lock" in name.lower()

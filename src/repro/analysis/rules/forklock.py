@@ -1,0 +1,94 @@
+"""RPR005 — fork/lock safety in daemon and supervisor paths.
+
+The service daemon and the sharded supervisor mix process forking with
+threads and advisory file locks — a combination with two classic
+footguns this rule patrols in ``repro/exec/``, ``repro/service/``, and
+``repro/results/store.py``:
+
+* **threads before fork**: a module that obtains a fork
+  multiprocessing context must not also create ``threading.Thread``
+  objects — a forked child inherits the parent's locked internal state
+  (logging, allocator, queue locks) held by threads that do not exist in
+  the child, and deadlocks.  (The daemon keeps its HTTP thread in
+  ``server.py`` and its forking scheduler in ``scheduler.py`` for exactly
+  this reason, with ``register_fork_cleanup`` closing inherited state.)
+  Raw ``os.fork()`` is flagged unconditionally — the multiprocessing
+  context is the supported spawn surface.
+* **flock pairing**: a file that takes ``fcntl.flock(..., LOCK_EX)``
+  must also contain the ``LOCK_UN`` release path; relying on
+  close-on-exit keeps the lock alive in every forked child that
+  inherited the descriptor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import call_name, contains_attr, str_const
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding
+
+__all__ = ["ForkLockSafetyRule"]
+
+_PATH_PREFIXES = ("repro/exec/", "repro/service/")
+_PATH_FILES = ("repro/results/store.py",)
+
+
+class ForkLockSafetyRule(Rule):
+    id = "RPR005"
+    name = "fork-lock-safety"
+    description = ("no raw os.fork, no threads in forking modules, and "
+                   "flock acquire/release pairing")
+
+    def applies_to(self, rel: str) -> bool:
+        return rel in _PATH_FILES or any(rel.startswith(p)
+                                         for p in _PATH_PREFIXES)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        fork_context_calls: list[ast.Call] = []
+        thread_calls: list[ast.Call] = []
+        flock_ex: list[ast.Call] = []
+        flock_un = False
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "os.fork":
+                findings.append(self.finding(
+                    src, node,
+                    "raw os.fork(); use multiprocessing.get_context('fork')"
+                    ".Process so the supervisor/scheduler lifecycle "
+                    "(join, exitcode, daemon flags) stays uniform"))
+            elif name is not None and name.endswith("get_context"):
+                if any(str_const(arg) == "fork" for arg in node.args):
+                    fork_context_calls.append(node)
+            elif name is not None and (name == "Thread"
+                                       or name.endswith(".Thread")):
+                thread_calls.append(node)
+            elif name is not None and name.endswith("flock"):
+                if len(node.args) >= 2 and contains_attr(node.args[1],
+                                                         "LOCK_UN"):
+                    flock_un = True
+                elif len(node.args) >= 2 and contains_attr(node.args[1],
+                                                           "LOCK_EX"):
+                    flock_ex.append(node)
+        if fork_context_calls and thread_calls:
+            for call in thread_calls:
+                findings.append(self.finding(
+                    src, call,
+                    "threading.Thread created in a module that forks "
+                    "workers; forked children inherit lock state held by "
+                    "threads that no longer exist — keep threads and fork "
+                    "sites in separate modules (see server.py vs "
+                    "scheduler.py) or pragma a justified exception"))
+        if flock_ex and not flock_un:
+            for call in flock_ex:
+                findings.append(self.finding(
+                    src, call,
+                    "fcntl.flock(LOCK_EX) with no LOCK_UN release in this "
+                    "file; an explicit unlock before close keeps forked "
+                    "children that inherited the descriptor from holding "
+                    "the lock forever"))
+        return findings

@@ -33,6 +33,8 @@ True
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterator
+
 from repro.core.status import NestedSolverResult, SolverResult
 from repro.faults.campaign import CampaignResult, FaultCampaign, TrialRecord
 from repro.registry import ResolveContext, registry, resolve_problem, resolve_sink
@@ -62,7 +64,9 @@ __all__ = [
 ]
 
 
-def solve(A, b, spec=None, *, x0=None, injector=None, events=None, **overrides):
+def solve(A: Any, b: Any, spec: Any = None, *, x0: Any = None,
+          injector: Any = None, events: Any = None,
+          **overrides: Any) -> SolverResult | NestedSolverResult:
     """Solve ``A x = b`` as described by a solve spec.
 
     Parameters
@@ -97,9 +101,11 @@ def solve(A, b, spec=None, *, x0=None, injector=None, events=None, **overrides):
                          injector=injector, events=events)
 
 
-def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
-                 store=None, run_id=None, resume=False, chaos=None,
-                 **overrides) -> CampaignResult:
+def run_campaign(problem: Any = None, spec: Any = None, *,
+                 progress: Callable[[int, int], None] | None = None,
+                 sink: Any = None, store: Any = None,
+                 run_id: str | None = None, resume: bool = False,
+                 chaos: Any = None, **overrides: Any) -> CampaignResult:
     """Run a fault-injection campaign as described by a campaign spec.
 
     Parameters
@@ -179,7 +185,8 @@ def run_campaign(problem=None, spec=None, *, progress=None, sink=None,
             sink.close()
 
 
-def iter_trials(problem=None, spec=None, **overrides):
+def iter_trials(problem: Any = None, spec: Any = None,
+                **overrides: Any) -> Iterator[TrialRecord]:
     """Stream a campaign's trial records as the backends complete them.
 
     A lazy generator over the serial backend (each record is yielded before
@@ -208,7 +215,7 @@ def iter_trials(problem=None, spec=None, **overrides):
         yield record
 
 
-def serve(store, spec=None, **overrides) -> int:
+def serve(store: Any, spec: Any = None, **overrides: Any) -> int:
     """Run the campaign service daemon over a run store (blocking).
 
     The imperative facade of :mod:`repro.service`: accepts CampaignSpecs
@@ -231,14 +238,16 @@ def serve(store, spec=None, **overrides) -> int:
 # ---------------------------------------------------------------------- #
 # store-backed execution (checkpoint / resume)
 # ---------------------------------------------------------------------- #
-def _run_stored_campaign(campaign, spec, store: RunStore, *, run_id, resume,
-                         progress, sink, chaos=None) -> CampaignResult:
+def _run_stored_campaign(campaign: FaultCampaign, spec: CampaignSpec,
+                         store: RunStore, *, run_id: str | None, resume: bool,
+                         progress: Callable[[int, int], None] | None,
+                         sink: Any, chaos: Any = None) -> CampaignResult:
     """Execute a campaign with trial-granularity checkpointing in a store."""
     fingerprint = campaign.provenance["spec_hash"]
     if run_id is None:
         run_id = f"{campaign.problem.name}-{fingerprint[:8]}"
 
-    completed: list = []
+    completed: list[tuple[int, Any]] = []
     if resume and store.exists(run_id):
         manifest = store.manifest(run_id)
         if manifest.spec_hash != fingerprint:

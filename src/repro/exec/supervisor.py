@@ -43,6 +43,7 @@ import tempfile
 import time
 
 from repro.results.store import read_trial_file, shard_dir_name
+from repro.utils.io import atomic_write_json
 
 __all__ = ["DEFAULT_HEARTBEAT_INTERVAL", "DEFAULT_MAX_RETRIES", "EXIT_DRAINED",
            "ShardedSupervisor", "SupervisorDrained", "partition_shards",
@@ -92,10 +93,7 @@ def partition_shards(specs, shards: int) -> list[list]:
 
 def write_heartbeat(path: str, payload: dict) -> None:
     """Atomically replace a heartbeat file (readers never see a tear)."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp, path)
+    atomic_write_json(path, payload)
 
 
 def read_heartbeat(path: str) -> dict | None:
@@ -140,7 +138,9 @@ def _shard_worker(config, specs, shard_dir: str, provenance, retries,
                 sys.exit(EXIT_DRAINED)
             if chaos is not None:
                 chaos.on_heartbeat(spec.index)
-            now = time.time()
+            # Heartbeat timestamps are infrastructure liveness, not trial
+            # identity — the one legitimate wall-clock read in a worker.
+            now = time.time()  # repro: allow(RPR002)
             write_heartbeat(heartbeat_path, {
                 "pid": os.getpid(), "current_index": int(spec.index),
                 "started_at": now, "done": done, "total": total,
@@ -433,7 +433,9 @@ class ShardedSupervisor:
         if int(index) in shard.recorded:
             return  # already durable: the worker is past it
         grace = max(2 * self.heartbeat_interval, 0.05)
-        if time.time() - float(started) > self.trial_timeout + grace:
+        # Timeout policing compares against the worker's wall-clock
+        # heartbeat stamp; never part of trial identity.
+        if time.time() - float(started) > self.trial_timeout + grace:  # repro: allow(RPR002)
             proc = shard.proc
             if proc is not None and proc.is_alive():
                 proc.kill()

@@ -95,6 +95,29 @@ MAX_OUTER = {"poisson": 100, "circuit": 200}
 #: config file that sets ``stride`` beats it too).
 DEFAULT_STRIDE = 5
 
+#: Declarative map from argparse dest -> dotted CampaignSpec path for every
+#: flag that patches the spec.  :func:`build_campaign_spec` applies it, and
+#: the static-analysis rule RPR003 cross-checks it both ways: each dest must
+#: exist on :func:`build_parser`'s parser, and each dotted path must resolve
+#: to a real spec field — so a new spec-backed flag cannot silently drift
+#: from the spec schema.  (``stride`` has bespoke default handling and
+#: ``max_outer`` a per-problem fallback; both are special-cased in
+#: :func:`build_campaign_spec` but still validated through this table.)
+SPEC_FLAG_DESTS = {
+    "stride": "stride",
+    "detector": "detector",
+    "inner_iterations": "inner_iterations",
+    "site": "site",
+    "fault_rate": "fault_rate",
+    "trial_timeout": "exec.trial_timeout",
+    "backend": "exec.backend",
+    "workers": "exec.workers",
+    "batch_size": "exec.batch_size",
+    "shards": "exec.shards",
+    "max_retries": "exec.max_retries",
+    "heartbeat_interval": "exec.heartbeat_interval",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the runner CLI."""
@@ -232,32 +255,12 @@ def build_campaign_spec(args, *, problem_key: str = "poisson") -> CampaignSpec:
     if ("max_outer" not in raw and config_solver.get("max_outer") is None
             and not {"max_outer", "solver.max_outer"} & set_paths):
         flag_overrides["max_outer"] = MAX_OUTER[problem_key]
-    if args.stride is not None:
-        flag_overrides["stride"] = args.stride
-    elif "stride" not in raw:
+    if args.stride is None and "stride" not in raw:
         flag_overrides["stride"] = DEFAULT_STRIDE
-    if args.detector is not None:
-        flag_overrides["detector"] = args.detector
-    if args.inner_iterations is not None:
-        flag_overrides["inner_iterations"] = args.inner_iterations
-    if args.site is not None:
-        flag_overrides["site"] = args.site
-    if args.fault_rate is not None:
-        flag_overrides["fault_rate"] = args.fault_rate
-    if args.trial_timeout is not None:
-        flag_overrides["exec.trial_timeout"] = args.trial_timeout
-    if args.backend is not None:
-        flag_overrides["exec.backend"] = args.backend
-    if args.workers is not None:
-        flag_overrides["exec.workers"] = args.workers
-    if args.batch_size is not None:
-        flag_overrides["exec.batch_size"] = args.batch_size
-    if args.shards is not None:
-        flag_overrides["exec.shards"] = args.shards
-    if args.max_retries is not None:
-        flag_overrides["exec.max_retries"] = args.max_retries
-    if args.heartbeat_interval is not None:
-        flag_overrides["exec.heartbeat_interval"] = args.heartbeat_interval
+    for dest, path in SPEC_FLAG_DESTS.items():
+        value = getattr(args, dest)
+        if value is not None:
+            flag_overrides[path] = value
     spec = apply_overrides(spec, flag_overrides)
 
     for item in args.overrides:
@@ -403,12 +406,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     The campaign-service subcommands (``repro serve/submit/jobs/watch/
     cancel/result/runs``) are dispatched to :mod:`repro.service.client`
-    before the experiment parser sees the argv — one console command covers
-    both the artifact runner and the service.
+    and ``repro lint`` to :mod:`repro.analysis.cli` before the experiment
+    parser sees the argv — one console command covers the artifact runner,
+    the service, and the static-analysis gate.
     """
     import sys as _sys
 
     argv = list(_sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Project-native static analysis (import deferred like the service
+        # stack: experiments must not pay for the analysis package).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] in _service_commands():
         from repro.service.client import service_main
 

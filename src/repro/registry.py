@@ -34,7 +34,7 @@ names, always listing what *is* registered in the namespace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 __all__ = [
     "NAMESPACES",
@@ -85,7 +85,7 @@ class ResolveContext:
     n: int | None = None
     bound_method: str = "frobenius"
 
-    def require_matrix(self, what: str):
+    def require_matrix(self, what: str) -> Any:
         """``A`` or a :class:`RegistryError` naming the component that needs it."""
         if self.A is None:
             raise RegistryError(f"{what} requires the system matrix, but none "
@@ -96,16 +96,16 @@ class ResolveContext:
 @dataclass(frozen=True)
 class _Entry:
     name: str
-    factory: Callable
+    factory: Callable[..., Any]
     positional: tuple[str, ...] = ()
     aliases: tuple[str, ...] = ()
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
 
 class Registry:
     """Namespace → name → factory mapping with a decorator-based API."""
 
-    def __init__(self, namespaces=NAMESPACES):
+    def __init__(self, namespaces: Iterable[str] = NAMESPACES) -> None:
         self._spaces: dict[str, dict[str, _Entry]] = {ns: {} for ns in namespaces}
 
     # ------------------------------------------------------------------ #
@@ -118,8 +118,11 @@ class Registry:
                 f"expected one of {sorted(self._spaces)}"
             ) from None
 
-    def register(self, namespace: str, name: str, *, aliases=(),
-                 positional=(), **metadata):
+    def register(self, namespace: str, name: str, *,
+                 aliases: Iterable[str] = (),
+                 positional: Iterable[str] = (),
+                 **metadata: Any) -> Callable[[Callable[..., Any]],
+                                              Callable[..., Any]]:
         """Decorator registering ``factory(ctx, **params)`` under ``name``.
 
         Parameters
@@ -140,7 +143,7 @@ class Registry:
         """
         space = self._space(namespace)
 
-        def decorator(factory):
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
             entry = _Entry(name=name, factory=factory,
                            positional=tuple(positional), aliases=tuple(aliases),
                            metadata=dict(metadata))
@@ -168,12 +171,13 @@ class Registry:
                 f"{self.names(namespace)}"
             ) from None
 
-    def metadata(self, namespace: str, name: str) -> dict:
+    def metadata(self, namespace: str, name: str) -> dict[str, Any]:
         """The metadata dict attached at registration time."""
         return dict(self.entry(namespace, name).metadata)
 
     # ------------------------------------------------------------------ #
-    def resolve(self, namespace: str, spec, ctx: ResolveContext | None = None):
+    def resolve(self, namespace: str, spec: Any,
+                ctx: ResolveContext | None = None) -> Any:
         """Build the component described by ``spec``.
 
         ``spec`` may be a string (``"name"`` / ``"name:arg"``), a dict with a
@@ -193,7 +197,7 @@ class Registry:
             raise RegistryError(f"invalid options for {namespace} {name!r}: {exc}") from exc
 
 
-def parse_spec(spec) -> tuple[str, dict]:
+def parse_spec(spec: Any) -> tuple[str, dict[str, Any]]:
     """Normalize a string/dict spec into ``(name, params)``.
 
     String colon arguments are returned under the reserved key ``"_args"``
@@ -233,7 +237,7 @@ def parse_spec(spec) -> tuple[str, dict]:
     )
 
 
-def _bind_positional(entry: _Entry, params: dict) -> dict:
+def _bind_positional(entry: _Entry, params: dict[str, Any]) -> dict[str, Any]:
     """Map transient colon arguments onto the entry's declared parameters."""
     args = params.pop("_args", ())
     if not args:
@@ -255,12 +259,15 @@ def _bind_positional(entry: _Entry, params: dict) -> dict:
 registry = Registry()
 
 
-def register(namespace: str, name: str, **kwargs):
+def register(namespace: str, name: str,
+             **kwargs: Any) -> Callable[[Callable[..., Any]],
+                                        Callable[..., Any]]:
     """Shorthand for :meth:`Registry.register` on the global registry."""
     return registry.register(namespace, name, **kwargs)
 
 
-def resolve(namespace: str, spec, ctx: ResolveContext | None = None):
+def resolve(namespace: str, spec: Any,
+            ctx: ResolveContext | None = None) -> Any:
     """Build a component from the global registry (see :meth:`Registry.resolve`)."""
     return registry.resolve(namespace, spec, ctx)
 
@@ -273,7 +280,8 @@ def names(namespace: str) -> list[str]:
 # ====================================================================== #
 # high-level resolvers (instance passthrough + namespace dispatch)
 # ====================================================================== #
-def resolve_detector(spec, *, A=None, bound_method: str = "frobenius"):
+def resolve_detector(spec: Any, *, A: Any = None,
+                     bound_method: str = "frobenius") -> Any:
     """A Detector instance, ``None``, or a registered detector spec.
 
     This is the single replacement for the previously duplicated
@@ -296,7 +304,8 @@ def resolve_detector(spec, *, A=None, bound_method: str = "frobenius"):
     return resolve("detector", spec, ResolveContext(A=A, bound_method=bound_method))
 
 
-def resolve_preconditioner(spec, *, A=None, n: int | None = None):
+def resolve_preconditioner(spec: Any, *, A: Any = None,
+                           n: int | None = None) -> Any:
     """A Preconditioner (or operator) instance, ``None``, or a registered spec.
 
     Strings and dicts resolve through the ``"preconditioner"`` namespace and
@@ -309,7 +318,7 @@ def resolve_preconditioner(spec, *, A=None, n: int | None = None):
     return resolve("preconditioner", spec, ResolveContext(A=A, n=n))
 
 
-def resolve_preconditioner_apply(spec, *, n: int, A=None):
+def resolve_preconditioner_apply(spec: Any, *, n: int, A: Any = None) -> Any:
     """Resolve a preconditioner spec down to an ``apply(r) -> z`` callable.
 
     Accepts everything :func:`repro.core.gmres.gmres` historically accepted —
@@ -333,7 +342,7 @@ def resolve_preconditioner_apply(spec, *, n: int, A=None):
     return op.matvec
 
 
-def resolve_fault_model(spec):
+def resolve_fault_model(spec: Any) -> Any:
     """A FaultModel instance or a registered fault-model spec."""
     from repro.faults.models import FaultModel
 
@@ -342,7 +351,7 @@ def resolve_fault_model(spec):
     return resolve("fault_model", spec)
 
 
-def resolve_fault_classes(spec) -> dict:
+def resolve_fault_classes(spec: Any) -> dict[str, Any]:
     """A campaign's fault-class mapping from a spec.
 
     ``"paper"`` (or ``None``) yields a fresh copy of the paper's three
@@ -360,7 +369,7 @@ def resolve_fault_classes(spec) -> dict:
     return {str(label): resolve_fault_model(model) for label, model in spec.items()}
 
 
-def resolve_problem(spec):
+def resolve_problem(spec: Any) -> Any:
     """A TestProblem instance or a registered gallery-problem spec."""
     from repro.gallery.problems import TestProblem
 
@@ -369,7 +378,7 @@ def resolve_problem(spec):
     return resolve("problem", spec)
 
 
-def resolve_sink(spec):
+def resolve_sink(spec: Any) -> Any:
     """An EventSink instance, ``None``, a callable, or a registered sink spec.
 
     Sinks are the consumer side of the results event bus
@@ -676,7 +685,8 @@ def _run_cg(ctx, *, A, b, x0, spec, injector=None, events=None):
 # Backend entries carry the knob-compatibility metadata enforced by
 # :func:`repro.exec.executor.validate_backend_knobs`; the factory returns
 # the metadata (backends are dispatch strategies, not built objects).
-def _register_backend(name: str, *, parallel: bool, knobs: tuple):
+def _register_backend(name: str, *, parallel: bool,
+                      knobs: tuple[str, ...]) -> None:
     @register("backend", name, parallel=parallel, knobs=knobs)
     def _backend_info(ctx, _name=name, _parallel=parallel, _knobs=knobs):
         return {"name": _name, "parallel": _parallel, "knobs": _knobs}
@@ -690,7 +700,7 @@ _register_backend("sharded", parallel=True,
                   knobs=("shards", "max_retries", "heartbeat_interval"))
 
 
-def backend_knobs(name: str) -> tuple:
+def backend_knobs(name: str) -> tuple[str, ...]:
     """The execution knobs a backend accepts (registry metadata)."""
     return tuple(registry.metadata("backend", name)["knobs"])
 
@@ -747,7 +757,8 @@ def _build_console_sink(ctx, every=1):
 # Sparse kernel tiers (see repro.sparse.kernels).  Factories return the
 # stateless engine singleton; unavailable tiers raise a RegistryError with
 # an install hint rather than resolving to a broken engine.
-def _register_kernel_tier(name: str, *, compiled: bool, description: str):
+def _register_kernel_tier(name: str, *, compiled: bool,
+                          description: str) -> None:
     @register("kernels", name, compiled=compiled, description=description)
     def _build_engine(ctx, _name=name):
         from repro.sparse.kernels import resolve_engine
@@ -772,7 +783,7 @@ _register_kernel_tier(
     description="best available tier: numba, else scipy, else numpy")
 
 
-def resolve_kernels(spec, **ctx_kwargs):
+def resolve_kernels(spec: Any, **ctx_kwargs: Any) -> Any:
     """Resolve a kernel-tier spec to a ``KernelEngine`` via the registry."""
     from repro.sparse.kernels import KernelEngine
 

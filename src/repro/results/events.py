@@ -63,7 +63,43 @@ __all__ = [
     "ConsoleSink",
     "ProgressSink",
     "ensure_sink",
+    "EVENT_KINDS",
+    "SOLVER_EVENT_KINDS",
+    "CAMPAIGN_EVENT_KINDS",
+    "SERVICE_EVENT_KINDS",
 ]
+
+#: The declared event vocabulary, by layer.  Every ``kind`` emitted anywhere
+#: in the library must appear here — sinks, the README's event table, and
+#: stream consumers all rely on this being exhaustive, and the
+#: static-analysis rule RPR004 fails the lint gate on any emission whose
+#: literal kind is missing (or any declared kind nothing emits).
+SOLVER_EVENT_KINDS = frozenset({
+    "breakdown",
+    "failure_reported",
+    "fault_detected",
+    "fault_injected",
+    "happy_breakdown",
+    "inner_result_nonfinite",
+    "inner_solve_complete",
+    "kernel_profile",
+    "lsq_fallback",
+    "lsq_nonfinite",
+    "rank_deficient",
+    "rollback_detection",
+    "spurious_breakdown",
+})
+CAMPAIGN_EVENT_KINDS = frozenset({
+    "campaign_started",
+    "baseline_completed",
+    "trial_completed",
+    "campaign_completed",
+})
+SERVICE_EVENT_KINDS = frozenset({
+    "job_update",
+    "stream_closed",
+})
+EVENT_KINDS = SOLVER_EVENT_KINDS | CAMPAIGN_EVENT_KINDS | SERVICE_EVENT_KINDS
 
 
 @dataclass(frozen=True)

@@ -55,9 +55,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.results.query import TrialQuery
+from repro.utils.io import atomic_write_json
 
 __all__ = ["RunStoreError", "RunManifest", "RunWriter", "RunStore", "StoreLock",
-           "campaign_fingerprint", "read_trial_file", "shard_dir_name"]
+           "campaign_fingerprint", "read_trial_file", "shard_dir_name",
+           "FINGERPRINT_EXCLUDED_FIELDS"]
 
 _MANIFEST = "manifest.json"
 _TRIALS = "trials.jsonl"
@@ -118,6 +120,19 @@ def read_trial_file(path: str) -> tuple[list[tuple[int, Any]], int, bool]:
     return pairs, pos, torn
 
 
+#: CampaignSpec fields deliberately excluded from :func:`campaign_fingerprint`.
+#: Every other spec field MUST change the fingerprint (the static-analysis
+#: rule RPR003 probes each field and fails the lint gate otherwise):
+#:
+#: * ``problem`` — the problem *name* is mixed into the hash separately, so a
+#:   spec with ``problem=None`` run on an explicit problem object and the
+#:   equivalent named spec resolve to the same stored run;
+#: * ``exec`` — execution knobs (backend, workers, batch size, kernels, ...)
+#:   are documented not to change results, so reruns under any backend find
+#:   and resume the same run.
+FINGERPRINT_EXCLUDED_FIELDS = ("problem", "exec")
+
+
 def campaign_fingerprint(spec, problem_name: str) -> str:
     """The identity hash of (campaign spec, problem) — what resume verifies.
 
@@ -133,6 +148,8 @@ def campaign_fingerprint(spec, problem_name: str) -> str:
     """
     from repro.specs import ExecutionSpec, spec_hash
 
+    # Normalizes away exactly FINGERPRINT_EXCLUDED_FIELDS (RPR003 probes
+    # every spec field against the fingerprint to keep the two in sync).
     spec = spec.replace(problem=None, exec=ExecutionSpec())
     return spec_hash({"problem_name": str(problem_name), "spec": spec.to_dict()})
 
@@ -405,6 +422,16 @@ class RunStore:
         if not self.exists(manifest.run_id):
             self._write_manifest(manifest)
 
+    def _manifest_lock(self, run_id: str) -> StoreLock:
+        """The lock serializing manifest read-modify-write cycles of a run.
+
+        The supervisor's retry accounting and the service's finalize can
+        race on one manifest from different processes; every RMW
+        (:meth:`update_manifest_extra`, :meth:`finalize`) must run under
+        this lock so concurrent merges never lose keys.
+        """
+        return StoreLock(self.run_path(run_id), name=".manifest.lock")
+
     def update_manifest_extra(self, run_id: str, **extra) -> RunManifest:
         """Merge keys into a stored manifest's ``extra`` dict (atomic rewrite).
 
@@ -412,9 +439,10 @@ class RunStore:
         resumed campaign (and post-mortem analysis) can see how flaky the
         infrastructure was without scanning shard files.
         """
-        manifest = self.manifest(run_id)
-        manifest.extra.update(extra)
-        self._write_manifest(manifest)
+        with self._manifest_lock(run_id):
+            manifest = self.manifest(run_id)
+            manifest.extra.update(extra)
+            self._write_manifest(manifest)
         return manifest
 
     def manifest(self, run_id: str) -> RunManifest:
@@ -432,17 +460,15 @@ class RunStore:
 
     def _write_manifest(self, manifest: RunManifest) -> None:
         path = os.path.join(self.run_path(manifest.run_id), _MANIFEST)
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(manifest.to_dict(), handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)  # atomic: a crash never leaves a torn manifest
+        # Atomic replace: a crash never leaves a torn manifest.
+        atomic_write_json(path, manifest.to_dict(), indent=2)
 
     def finalize(self, run_id: str) -> None:
         """Mark a run complete (all trials written)."""
-        manifest = self.manifest(run_id)
-        manifest.status = "complete"
-        self._write_manifest(manifest)
+        with self._manifest_lock(run_id):
+            manifest = self.manifest(run_id)
+            manifest.status = "complete"
+            self._write_manifest(manifest)
 
     # ------------------------------------------------------------------ #
     # trial records (flat file + shard files, merged on read)
@@ -559,30 +585,36 @@ class RunStore:
         """
         import shutil
 
-        shard_ks = self.shard_ids(run_id)
-        if not shard_ks:
-            return 0
-        manifest = self.manifest(run_id)
-        latest = self._latest_records(run_id, self.recover(run_id))
-        for index, record in latest:
-            stamped = getattr(record, "spec_hash", None)
-            if (stamped is not None and manifest.spec_hash
-                    and stamped != manifest.spec_hash):
-                raise RunStoreError(
-                    f"run {run_id!r}: shard record for trial {index} was "
-                    f"produced by a different campaign (record spec hash "
-                    f"{stamped}, manifest {manifest.spec_hash}); refusing "
-                    f"to merge")
-        path = os.path.join(self.run_path(run_id), _TRIALS)
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
+        # The whole read-shards -> rewrite-flat-file -> delete-shards cycle
+        # runs under the store lock: a second merge (or a straggler shard
+        # writer on a resumed run) racing this window could resurrect
+        # deleted shards or clobber the compacted file.
+        with self._manifest_lock(run_id):
+            shard_ks = self.shard_ids(run_id)
+            if not shard_ks:
+                return 0
+            manifest = self.manifest(run_id)
+            latest = self._latest_records(run_id, self.recover(run_id))
             for index, record in latest:
-                handle.write(json.dumps({"index": index, **record.to_dict()})
-                             + "\n")
-        os.replace(tmp, path)
-        for shard in shard_ks:
-            shutil.rmtree(self.shard_path(run_id, shard), ignore_errors=True)
-        return len(shard_ks)
+                stamped = getattr(record, "spec_hash", None)
+                if (stamped is not None and manifest.spec_hash
+                        and stamped != manifest.spec_hash):
+                    raise RunStoreError(
+                        f"run {run_id!r}: shard record for trial {index} was "
+                        f"produced by a different campaign (record spec hash "
+                        f"{stamped}, manifest {manifest.spec_hash}); refusing "
+                        f"to merge")
+            path = os.path.join(self.run_path(run_id), _TRIALS)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for index, record in latest:
+                    handle.write(json.dumps({"index": index,
+                                             **record.to_dict()}) + "\n")
+            os.replace(tmp, path)
+            for shard in shard_ks:
+                shutil.rmtree(self.shard_path(run_id, shard),
+                              ignore_errors=True)
+            return len(shard_ks)
 
     def completed_indices(self, run_id: str) -> set[int]:
         """Indices of the trials already persisted *successfully* for a run.
@@ -656,12 +688,9 @@ class RunStore:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         from repro.results.events import _jsonable
 
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"name": name, "repro_version": __version__,
-                       "payload": payload}, handle, indent=2, default=_jsonable)
-            handle.write("\n")
-        os.replace(tmp, path)
+        atomic_write_json(path, {"name": name, "repro_version": __version__,
+                                 "payload": payload},
+                          indent=2, default=_jsonable)
 
     def has_artifact(self, name: str) -> bool:
         """True if an artifact with this name is stored."""

@@ -43,6 +43,7 @@ from typing import Callable
 
 from repro.results.store import RunStore, StoreLock
 from repro.specs import CampaignSpec, ExecutionSpec, SpecError, spec_hash
+from repro.utils.io import atomic_write_json
 
 __all__ = [
     "JOB_STATES",
@@ -164,12 +165,7 @@ class JobStore:
 
     def write(self, record: JobRecord) -> None:
         """Atomic record rewrite (tmp + replace; same contract as manifests)."""
-        path = self.path(record.job_id)
-        tmp = f"{path}.{os.getpid()}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(record.to_dict(), handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
+        atomic_write_json(self.path(record.job_id), record.to_dict(), indent=2)
 
     def list(self) -> list[JobRecord]:
         """Every job record, FIFO by (created_at, job_id)."""

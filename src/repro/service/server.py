@@ -57,6 +57,7 @@ from repro.service.scheduler import (
 )
 from repro.service.streams import BroadcastSink, run_events_path, tail_jsonl
 from repro.specs import CampaignSpec, ServiceSpec, SpecError
+from repro.utils.io import atomic_write_json
 
 __all__ = ["ServiceDaemon", "ServiceStartupError", "DAEMON_FILE", "read_daemon_info"]
 
@@ -145,15 +146,12 @@ class ServiceDaemon:
 
     def _write_daemon_info(self) -> None:
         host, port = self.address
-        path = self._daemon_path()
-        tmp = f"{path}.{os.getpid()}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"pid": os.getpid(), "host": host, "port": port,
-                       "max_jobs": self.spec.max_jobs,
-                       "version": __version__, "started_at": time.time()},
-                      handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
+        atomic_write_json(self._daemon_path(),
+                          {"pid": os.getpid(), "host": host, "port": port,
+                           "max_jobs": self.spec.max_jobs,
+                           "version": __version__,
+                           "started_at": time.time()},
+                          indent=2)
 
     def _remove_daemon_info(self) -> None:
         info = read_daemon_info(self.store)

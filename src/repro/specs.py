@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field, fields, replace
-from typing import Any
+from typing import Any, Callable, Iterable, Mapping, TypeVar
+
+_SpecT = TypeVar("_SpecT", bound="_SpecBase")
 
 __all__ = [
     "SpecError",
@@ -58,7 +61,7 @@ FAULT_PERSISTENCES = ("transient", "sticky", "persistent")
 class SpecError(ValueError):
     """A spec validation failure, carrying the offending field's dotted path."""
 
-    def __init__(self, field_path: str, message: str):
+    def __init__(self, field_path: str, message: str) -> None:
         self.field = field_path
         super().__init__(f"{field_path}: {message}")
 
@@ -66,7 +69,8 @@ class SpecError(ValueError):
 # ---------------------------------------------------------------------- #
 # validation helpers
 # ---------------------------------------------------------------------- #
-def _check_choice(field_path: str, value, choices, *, allow_none=False):
+def _check_choice(field_path: str, value: Any, choices: Iterable[Any], *,
+                  allow_none: bool = False) -> Any:
     if value is None and allow_none:
         return None
     if value not in choices:
@@ -74,7 +78,8 @@ def _check_choice(field_path: str, value, choices, *, allow_none=False):
     return value
 
 
-def _check_int(field_path: str, value, *, minimum=None, allow_none=False):
+def _check_int(field_path: str, value: Any, *, minimum: int | None = None,
+               allow_none: bool = False) -> int | None:
     if value is None and allow_none:
         return None
     if isinstance(value, bool) or not isinstance(value, int):
@@ -84,7 +89,8 @@ def _check_int(field_path: str, value, *, minimum=None, allow_none=False):
     return value
 
 
-def _check_float(field_path: str, value, *, minimum=None, allow_none=False):
+def _check_float(field_path: str, value: Any, *, minimum: float | None = None,
+                 allow_none: bool = False) -> float | None:
     if value is None and allow_none:
         return None
     if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -95,7 +101,8 @@ def _check_float(field_path: str, value, *, minimum=None, allow_none=False):
     return value
 
 
-def _check_component(field_path: str, value, *, allow_none=True):
+def _check_component(field_path: str, value: Any, *,
+                     allow_none: bool = True) -> Any:
     """A component spec field: string, dict-with-name, built instance, or None."""
     if value is None:
         if not allow_none:
@@ -115,7 +122,7 @@ def _check_component(field_path: str, value, *, allow_none=True):
     return value
 
 
-def _jsonable_component(field_path: str, value):
+def _jsonable_component(field_path: str, value: Any) -> Any:
     """Serialize a component field: specs verbatim, instances via ``to_spec``."""
     if value is None or isinstance(value, (str, int, float, bool)):
         return value
@@ -131,7 +138,8 @@ def _jsonable_component(field_path: str, value):
                     f"(it has no to_spec()); use a string/dict component spec instead")
 
 
-def _reject_unknown_keys(cls, data: dict, prefix: str) -> None:
+def _reject_unknown_keys(cls: type, data: Mapping[str, Any],
+                         prefix: str) -> None:
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(data) - known)
     if unknown:
@@ -140,7 +148,7 @@ def _reject_unknown_keys(cls, data: dict, prefix: str) -> None:
                         f"unknown field (valid fields of {cls.__name__}: {sorted(known)})")
 
 
-def _field_default(cls, name: str):
+def _field_default(cls: type, name: str) -> Any:
     for f in fields(cls):
         if f.name == name:
             return (f.default_factory() if f.default_factory is not dataclasses.MISSING
@@ -148,7 +156,8 @@ def _field_default(cls, name: str):
     raise AttributeError(f"{cls.__name__} has no field {name!r}")  # pragma: no cover
 
 
-def _construct_with_prefix(cls, data: dict, prefix: str):
+def _construct_with_prefix(cls: Callable[..., _SpecT], data: Mapping[str, Any],
+                           prefix: str) -> _SpecT:
     """Instantiate a spec, re-raising SpecErrors with the dotted prefix."""
     try:
         return cls(**data)
@@ -162,16 +171,23 @@ def _construct_with_prefix(cls, data: dict, prefix: str):
 class _SpecBase:
     """Shared JSON plumbing for the frozen spec dataclasses."""
 
-    def replace(self, **changes):
+    def replace(self: _SpecT, **changes: Any) -> _SpecT:
         """A copy with the given fields replaced (re-validated)."""
-        return replace(self, **changes)
+        return replace(self, **changes)  # type: ignore[type-var]
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """The spec as a JSON document (see :meth:`to_dict`)."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    def to_dict(self) -> dict[str, Any]:  # overridden by every subclass
+        raise NotImplementedError  # pragma: no cover
+
     @classmethod
-    def from_json(cls, text: str):
+    def from_dict(cls, data: dict) -> "_SpecBase":  # overridden by subclasses
+        raise NotImplementedError  # pragma: no cover
+
+    @classmethod
+    def from_json(cls, text: str) -> "_SpecBase":
         """Parse a spec from a JSON document produced by :meth:`to_json`."""
         try:
             data = json.loads(text)
@@ -182,7 +198,7 @@ class _SpecBase:
                             f"expected a JSON object, got {type(data).__name__}")
         return cls.from_dict(data)
 
-    def _compact_dict(self, *, skip=()) -> dict:
+    def _compact_dict(self, *, skip: Iterable[str] = ()) -> dict[str, Any]:
         """Fields that differ from the class defaults, JSON-ready.
 
         Keeping serialized specs *compact* (defaults omitted) makes config
@@ -247,7 +263,7 @@ class SolveSpec(_SpecBase):
     bound_method: str = "frobenius"
     inner: "SolveSpec | None" = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_choice("method", self.method, SOLVER_METHODS)
         _check_float("tol", self.tol, minimum=0.0)
         _check_int("maxiter", self.maxiter, minimum=1, allow_none=True)
@@ -289,7 +305,7 @@ class SolveSpec(_SpecBase):
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def coerce(cls, spec=None, **overrides) -> "SolveSpec":
+    def coerce(cls, spec: Any = None, **overrides: Any) -> "SolveSpec":
         """Build a SolveSpec from a spec, a dict, a method name, or kwargs."""
         if spec is None:
             return cls.from_dict(overrides) if overrides else cls()
@@ -316,7 +332,7 @@ class SolveSpec(_SpecBase):
             data["inner"] = cls.from_dict(inner, _prefix=f"{_prefix}inner.")
         return _construct_with_prefix(cls, data, _prefix)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """A compact JSON-ready dict (defaults omitted, ``method`` always kept)."""
         out = self._compact_dict()  # a non-default inner serializes recursively
         out["method"] = self.method
@@ -325,7 +341,7 @@ class SolveSpec(_SpecBase):
     # ------------------------------------------------------------------ #
     # conversions onto the legacy parameter bundles (the execution layer)
     # ------------------------------------------------------------------ #
-    def gmres_kwargs(self) -> dict:
+    def gmres_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for :func:`repro.core.gmres.gmres`."""
         assert self.method == "gmres", self.method
         return {
@@ -342,7 +358,7 @@ class SolveSpec(_SpecBase):
             "bound_method": self.bound_method,
         }
 
-    def fgmres_kwargs(self) -> dict:
+    def fgmres_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for :func:`repro.core.fgmres.fgmres`."""
         assert self.method in ("fgmres", "ft_gmres"), self.method
         return {
@@ -359,7 +375,7 @@ class SolveSpec(_SpecBase):
             "bound_method": self.bound_method,
         }
 
-    def cg_kwargs(self) -> dict:
+    def cg_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for :func:`repro.baselines.cg.cg`."""
         assert self.method == "cg", self.method
         return {"tol": self.tol, "maxiter": self.maxiter,
@@ -452,7 +468,7 @@ class ExecutionSpec(_SpecBase):
     #: files (sharded backend only).
     heartbeat_interval: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         from repro.exec.executor import BACKENDS, validate_backend_knobs
         from repro.sparse.kernels import KERNEL_CHOICES
 
@@ -490,10 +506,10 @@ class ExecutionSpec(_SpecBase):
         _reject_unknown_keys(cls, data, _prefix)
         return _construct_with_prefix(cls, data, _prefix)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return self._compact_dict()
 
-    def executor_kwargs(self) -> dict:
+    def executor_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for :class:`repro.exec.executor.CampaignExecutor`."""
         return {"backend": self.backend, "workers": self.workers,
                 "chunksize": self.chunksize, "batch_size": self.batch_size,
@@ -545,7 +561,7 @@ class CampaignSpec(_SpecBase):
     solver: SolveSpec | None = None
     exec: ExecutionSpec = field(default_factory=ExecutionSpec)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_component("problem", self.problem)
         _check_int("inner_iterations", self.inner_iterations, minimum=1)
         _check_int("max_outer", self.max_outer, minimum=1)
@@ -592,7 +608,7 @@ class CampaignSpec(_SpecBase):
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def coerce(cls, spec=None, **overrides) -> "CampaignSpec":
+    def coerce(cls, spec: Any = None, **overrides: Any) -> "CampaignSpec":
         """Build a CampaignSpec from a spec, a dict, or keyword fields."""
         if spec is None:
             return cls.from_dict(overrides) if overrides else cls()
@@ -628,7 +644,7 @@ class CampaignSpec(_SpecBase):
             data["locations"] = tuple(data["locations"])
         return cls(**data)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """A compact JSON-ready dict (defaults omitted)."""
         out = self._compact_dict(skip=("fault_classes",))
         if self.fault_classes != "paper":
@@ -639,12 +655,14 @@ class CampaignSpec(_SpecBase):
         return out
 
     @classmethod
-    def load(cls, path) -> "CampaignSpec":
+    def load(cls, path: str | os.PathLike) -> "CampaignSpec":
         """Read a campaign spec from a JSON file."""
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_json(handle.read())
+            spec = cls.from_json(handle.read())
+            assert isinstance(spec, CampaignSpec)
+            return spec
 
-    def dump(self, path) -> None:
+    def dump(self, path: str | os.PathLike) -> None:
         """Write the campaign spec to a JSON file."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
@@ -676,7 +694,7 @@ class ServiceSpec(_SpecBase):
     poll_interval: float = 0.05
     drain_grace: float = 10.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.host, str) or not self.host.strip():
             raise SpecError("host", f"expected a non-empty string, got {self.host!r}")
         _check_int("port", self.port, minimum=0)
@@ -689,7 +707,7 @@ class ServiceSpec(_SpecBase):
         _check_float("drain_grace", self.drain_grace, minimum=0.0)
 
     @classmethod
-    def coerce(cls, spec=None, **overrides) -> "ServiceSpec":
+    def coerce(cls, spec: Any = None, **overrides: Any) -> "ServiceSpec":
         """Build a ServiceSpec from a spec, a dict, or keyword fields."""
         if spec is None:
             return cls.from_dict(overrides) if overrides else cls()
@@ -708,14 +726,14 @@ class ServiceSpec(_SpecBase):
         _reject_unknown_keys(cls, data, _prefix)
         return _construct_with_prefix(cls, data, _prefix)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return self._compact_dict()
 
 
 # ---------------------------------------------------------------------- #
 # provenance hashing
 # ---------------------------------------------------------------------- #
-def spec_hash(spec) -> str:
+def spec_hash(spec: Any) -> str:
     """A short stable hash identifying a spec (or any JSON-able dict).
 
     The hash is over the *canonical* JSON form (compact ``to_dict`` output,
@@ -733,7 +751,7 @@ def spec_hash(spec) -> str:
 # ---------------------------------------------------------------------- #
 # dotted-path overrides (the CLI's --set)
 # ---------------------------------------------------------------------- #
-def parse_override_value(text: str):
+def parse_override_value(text: str) -> Any:
     """Parse a ``--set`` value: JSON literal when possible, else the raw string.
 
     ``--set exec.backend=batched`` needs no quoting (``batched`` is not valid
@@ -746,7 +764,7 @@ def parse_override_value(text: str):
         return text
 
 
-def apply_overrides(spec, assignments: dict):
+def apply_overrides(spec: _SpecT, assignments: Mapping[str, Any]) -> _SpecT:
     """Apply ``{"dotted.path": value}`` overrides to a (frozen) spec tree.
 
     Each dotted path names a field, descending through nested specs
@@ -768,7 +786,8 @@ _NESTED_DEFAULTS = {
 }
 
 
-def _apply_one(spec, segments, full_path, value):
+def _apply_one(spec: Any, segments: list[str], full_path: str,
+               value: Any) -> Any:
     name = segments[0]
     if not dataclasses.is_dataclass(spec):
         raise SpecError(full_path, f"cannot descend into {type(spec).__name__}")
